@@ -1,0 +1,45 @@
+// Baseline shootout: every LCS *score* algorithm in the library on one
+// workload ladder. Not a paper figure -- a maintainers' regression table
+// covering the related-work implementations (Aluru prefix-scan, cache-
+// oblivious blocking, Crochemore/Hyyro bit-vectors) next to this library's
+// combers.
+#include "common.hpp"
+
+#include "bitlcs/bitwise_combing.hpp"
+#include "core/api.hpp"
+#include "lcs/aluru.hpp"
+#include "lcs/bitparallel.hpp"
+#include "lcs/cache_oblivious.hpp"
+#include "lcs/dp.hpp"
+#include "lcs/prefix.hpp"
+#include "util/random.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+int main() {
+  Table table({"length", "algorithm", "seconds", "cells_per_s"});
+  for (const Index n : {scaled(8000), scaled(24000)}) {
+    const auto a = uniform_sequence(n, 4, 1);
+    const auto b = uniform_sequence(n, 4, 2);
+    const double cells = static_cast<double>(n) * static_cast<double>(n);
+    const auto row = [&](const char* name, double secs) {
+      table.row().cell(static_cast<long long>(n)).cell(name).cell(secs, 4).cell(cells / secs, 0);
+    };
+    row("dp_rowmajor", median_seconds([&] { (void)lcs_score_dp(a, b); }));
+    row("prefix_rowmajor", median_seconds([&] { (void)lcs_prefix_rowmajor(a, b); }));
+    row("prefix_antidiag_SIMD", median_seconds([&] { (void)lcs_prefix_antidiag(a, b, false); }));
+    row("prefix_scan_aluru", median_seconds([&] { (void)lcs_prefix_scan(a, b, false); }));
+    row("cache_oblivious", median_seconds([&] { (void)lcs_cache_oblivious(a, b); }));
+    row("crochemore_bitvec", median_seconds([&] { (void)lcs_bitparallel_crochemore(a, b); }));
+    row("hyyro_bitvec", median_seconds([&] { (void)lcs_bitparallel_hyyro(a, b); }));
+    row("semi_antidiag_SIMD", median_seconds([&] {
+          (void)lcs_semilocal(a, b, {.strategy = Strategy::kAntidiagSimd});
+        }));
+    row("bit_planes(sigma=4)", median_seconds([&] {
+          (void)lcs_bit_combing_alphabet(a, b, 4, false);
+        }));
+  }
+  emit(table, "baselines", "LCS score baseline shootout (uniform alphabet 4)");
+  return 0;
+}

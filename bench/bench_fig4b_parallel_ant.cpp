@@ -1,0 +1,31 @@
+// Figure 4(b): parallel steady-ant speedup as a function of the depth at
+// which the recursion stops spawning tasks and switches to sequential
+// computation (threshold 0 = fully sequential here; the paper sweeps 0-6
+// and finds the optimum at 4 with ~3.7x speedup on 8 cores).
+#include "common.hpp"
+
+#include "braid/permutation.hpp"
+#include "braid/steady_ant.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+int main() {
+  const Index n = scaled(1 << 19);  // paper: 1e7
+  const auto p = Permutation::random(n, 1);
+  const auto q = Permutation::random(n, 2);
+
+  const double sequential = median_seconds([&] { (void)multiply_combined(p, q); });
+
+  Table table({"parallel_depth", "seconds", "speedup_vs_sequential"});
+  table.row().cell(0LL).cell(sequential, 4).cell(1.0, 3);
+  for (int depth = 1; depth <= 6; ++depth) {
+    const double t = median_seconds([&] { (void)multiply_parallel(p, q, depth); });
+    table.row().cell(static_cast<long long>(depth)).cell(t, 4).cell(sequential / t, 3);
+  }
+  emit(table, "fig4b_parallel_ant",
+       "Fig 4(b): parallel steady ant, speedup vs task-spawn depth (size " +
+           std::to_string(n) + ", " + std::to_string(hardware_threads()) +
+           " hardware threads)");
+  return 0;
+}

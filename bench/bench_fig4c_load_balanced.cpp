@@ -1,0 +1,46 @@
+// Figure 4(c): sequential iterative combing vs the load-balanced variant,
+// plus the share of the load-balanced total spent in braid multiplication.
+//
+// Paper result: the two sequential versions run neck and neck (load
+// balancing only pays off in parallel), and the braid-multiplication stitch
+// is a small fraction of the total.
+#include "common.hpp"
+
+#include "braid/steady_ant.hpp"
+#include "core/iterative_combing.hpp"
+#include "util/random.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+int main() {
+  std::vector<Index> sizes;
+  for (Index n = scaled(4000); n <= scaled(64000); n *= 2) sizes.push_back(n);
+
+  Table table({"length", "iterative_s", "load_balanced_s", "braid_mult_s",
+               "braid_mult_share_pct"});
+  const CombOptions comb{.branchless = true, .parallel = false};
+  for (const Index n : sizes) {
+    const auto a = rounded_normal_sequence(n, 1.0, 1);
+    const auto b = rounded_normal_sequence(n, 1.0, 2);
+    const double iterative = median_seconds([&] { (void)comb_antidiag(a, b, comb); });
+    const double balanced = median_seconds([&] { (void)comb_load_balanced(a, b, comb); });
+    // Isolate the stitch: multiply the three phase braids of the same order.
+    const auto p1 = Permutation::random(2 * n, 3);
+    const auto p2 = Permutation::random(2 * n, 4);
+    const auto p3 = Permutation::random(2 * n, 5);
+    const SteadyAntOptions ant{.precalc = true, .preallocate = true};
+    const double stitch = median_seconds([&] {
+      (void)multiply(multiply(p1, p2, ant), p3, ant);
+    });
+    table.row()
+        .cell(static_cast<long long>(n))
+        .cell(iterative, 4)
+        .cell(balanced, 4)
+        .cell(stitch, 4)
+        .cell(100.0 * stitch / balanced, 1);
+  }
+  emit(table, "fig4c_load_balanced",
+       "Fig 4(c): sequential iterative vs load-balanced combing (+ stitch cost)");
+  return 0;
+}

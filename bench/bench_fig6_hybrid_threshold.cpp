@@ -1,0 +1,39 @@
+// Figure 6: the hybrid algorithm's tradeoff between coarse-grained
+// parallelization potential (recursion threshold depth) and sequential
+// performance, for several input lengths.
+//
+// Paper result: deeper thresholds hurt sequential time; the acceptable
+// depth grows with input length (depth <= 3 for lengths under 1e5).
+#include "common.hpp"
+
+#include "core/hybrid.hpp"
+#include "util/random.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+int main() {
+  const std::vector<Index> lengths = {scaled(4000), scaled(12000), scaled(36000)};
+  const int max_depth = 6;
+
+  Table table({"length", "depth", "sequential_s", "relative_to_depth0"});
+  for (const Index n : lengths) {
+    const auto a = rounded_normal_sequence(n, 1.0, 1);
+    const auto b = rounded_normal_sequence(n, 1.0, 2);
+    double depth0 = 0.0;
+    for (int depth = 0; depth <= max_depth; ++depth) {
+      const double t = median_seconds([&] {
+        (void)hybrid_combing(a, b, {.depth = depth, .parallel = false});
+      });
+      if (depth == 0) depth0 = t;
+      table.row()
+          .cell(static_cast<long long>(n))
+          .cell(static_cast<long long>(depth))
+          .cell(t, 4)
+          .cell(t / depth0, 3);
+    }
+  }
+  emit(table, "fig6_hybrid_threshold",
+       "Fig 6: hybrid combing, sequential cost of recursion depth");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks on the library's hot kernels, via google-benchmark.
+// Complements the figure-reproduction binaries: these are the numbers to
+// watch when optimizing an inner loop.
+#include <benchmark/benchmark.h>
+
+#include "bitlcs/bitwise_combing.hpp"
+#include "braid/permutation.hpp"
+#include "braid/steady_ant.hpp"
+#include "core/api.hpp"
+#include "lcs/bitparallel.hpp"
+#include "lcs/prefix.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace semilocal;
+
+void BM_SteadyAntCombined(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto p = Permutation::random(n, 1);
+  const auto q = Permutation::random(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_combined(p, q));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SteadyAntCombined)->Range(1 << 10, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_SteadyAntBase(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto p = Permutation::random(n, 1);
+  const auto q = Permutation::random(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiply_base(p, q));
+  }
+}
+BENCHMARK(BM_SteadyAntBase)->Range(1 << 10, 1 << 16);
+
+void BM_CombRowMajor(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = rounded_normal_sequence(n, 1.0, 1);
+  const auto b = rounded_normal_sequence(n, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(semi_local_kernel(a, b, {.strategy = Strategy::kRowMajor}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CombRowMajor)->Range(1 << 10, 1 << 13);
+
+void BM_CombAntidiagSimd(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = rounded_normal_sequence(n, 1.0, 1);
+  const auto b = rounded_normal_sequence(n, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        semi_local_kernel(a, b, {.strategy = Strategy::kAntidiagSimd}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CombAntidiagSimd)->Range(1 << 10, 1 << 14);
+
+void BM_PrefixAntidiag(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = rounded_normal_sequence(n, 1.0, 1);
+  const auto b = rounded_normal_sequence(n, 1.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcs_prefix_antidiag(a, b, false));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_PrefixAntidiag)->Range(1 << 10, 1 << 14);
+
+void BM_BitCombingOptimized(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = binary_sequence(n, 1);
+  const auto b = binary_sequence(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcs_bit_combing(a, b, BitVariant::kOptimized, false));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitCombingOptimized)->Range(1 << 14, 1 << 18);
+
+void BM_BitparallelCrochemore(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto a = binary_sequence(n, 1);
+  const auto b = binary_sequence(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcs_bitparallel_crochemore(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BitparallelCrochemore)->Range(1 << 14, 1 << 18);
+
+}  // namespace

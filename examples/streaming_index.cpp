@@ -1,0 +1,83 @@
+// Streaming similarity index via incremental kernel composition.
+//
+//   build/examples/streaming_index [pattern_length] [chunk] [chunks]
+//
+// A fixed query pattern is matched against a text stream that grows chunk
+// by chunk (think: log lines arriving, contigs being appended). Instead of
+// recomputing an O(m * n) DP per chunk, the kernel is UPDATED via the
+// composition theorem: comb only the (m x chunk) block for the new text and
+// stitch it on with one O((m+n) log(m+n)) steady-ant multiplication. After
+// each chunk the freshest best-matching window is reported.
+#include <cstdlib>
+#include <iostream>
+
+#include "align/distance.hpp"
+#include "core/incremental.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace semilocal;
+
+int main(int argc, char** argv) {
+  const Index pattern_length = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const Index chunk = argc > 2 ? std::atoll(argv[2]) : 4000;
+  const Index chunks = argc > 3 ? std::atoll(argv[3]) : 6;
+  constexpr Symbol kAlphabet = 8;
+
+  const Sequence pattern = uniform_sequence(pattern_length, kAlphabet, 1);
+  IncrementalKernel index(pattern, SequenceView{});
+
+  Rng rng(2);
+  Table log({"chunk", "text_length", "update_s", "recompute_s", "best_window",
+             "best_distance"});
+  for (Index c = 0; c < chunks; ++c) {
+    // Every other chunk hides a mutated copy of a pattern slice (as much of
+    // the pattern as fits into the chunk).
+    Sequence incoming = uniform_sequence(chunk, kAlphabet, 100 + static_cast<std::uint64_t>(c));
+    if (c % 2 == 1) {
+      const Index slice_len = std::min<Index>(pattern_length, (3 * chunk) / 4);
+      const Index slice_start = rng.uniform(0, pattern_length - slice_len);
+      const SequenceView slice{pattern.data() + slice_start,
+                               static_cast<std::size_t>(slice_len)};
+      const auto copy = mutate_sequence(slice, 0.08, slice_len / 25, kAlphabet,
+                                        200 + static_cast<std::uint64_t>(c));
+      const Index room = chunk - static_cast<Index>(copy.size());
+      if (room > 0) {
+        const auto site = static_cast<std::size_t>(rng.uniform(0, room - 1));
+        std::copy(copy.begin(), copy.end(),
+                  incoming.begin() + static_cast<std::ptrdiff_t>(site));
+      }
+    }
+
+    Timer t;
+    index.append_b(incoming);
+    const double update_s = t.seconds();
+
+    // What a from-scratch recomputation would cost at this length:
+    t.reset();
+    const auto full = comb_antidiag(pattern, index.b());
+    const double recompute_s = t.seconds();
+    if (!(full.permutation() == index.kernel().permutation())) {
+      std::cerr << "incremental kernel diverged from direct recomputation!\n";
+      return 1;
+    }
+
+    const WindowDistances wd(index.kernel());
+    const Index width = std::min<Index>(pattern_length, index.kernel().n());
+    const auto [start, dist] = wd.best_window(width, /*stride=*/64);
+    log.row()
+        .cell(static_cast<long long>(c))
+        .cell(static_cast<long long>(index.b().size()))
+        .cell(update_s, 5)
+        .cell(recompute_s, 5)
+        .cell(std::string("[").append(std::to_string(start)).append(", ")
+                  .append(std::to_string(start + width)).append(")"))
+        .cell(static_cast<long long>(dist));
+  }
+  log.print(std::cout, "streaming index: incremental update vs full recomputation");
+  std::cout << "\n(odd chunks hide a mutated pattern slice: best-distance dips when one\n"
+               " arrives; update cost stays flat while full recomputation grows with the\n"
+               " text -- the composition theorem at work)\n";
+  return 0;
+}

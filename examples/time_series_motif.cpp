@@ -1,0 +1,104 @@
+// Time-series motif analysis with the bit-parallel combing LCS.
+//
+//   build/examples/time_series_motif [series_length]
+//
+// The paper's conclusion suggests applying these techniques to pattern
+// analysis in time-series data. This example discretizes two noisy series
+// into binary up/down move sequences and uses the novel bit-parallel
+// combing algorithm (Listing 8) to compute similarity between them and
+// across lagged windows -- a cheap LCS-based analogue of cross-correlation
+// that is robust to local time warping.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bitlcs/bitwise_combing.hpp"
+#include "lcs/dp.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace semilocal;
+
+namespace {
+
+// Synthetic "market-like" series: trend + seasonality + noise.
+std::vector<double> make_series(Index length, double phase, double noise,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(length));
+  double level = 100.0;
+  for (Index t = 0; t < length; ++t) {
+    const double season = 3.0 * std::sin(0.011 * static_cast<double>(t) + phase) +
+                          1.2 * std::sin(0.047 * static_cast<double>(t) + 2.0 * phase);
+    level += 0.01 + noise * (2.0 * rng.uniform01() - 1.0);
+    xs[static_cast<std::size_t>(t)] = level + season;
+  }
+  return xs;
+}
+
+// Binary up/down discretization: 1 if the series rose at step t.
+Sequence discretize(const std::vector<double>& xs) {
+  Sequence out;
+  out.reserve(xs.size());
+  for (std::size_t t = 1; t < xs.size(); ++t) {
+    out.push_back(xs[t] > xs[t - 1] ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Index length = argc > 1 ? std::atoll(argv[1]) : 200000;
+
+  // Two series sharing structure: same seasonal engine, different noise and
+  // a deliberate phase lag; plus one unrelated control series.
+  const auto sa = discretize(make_series(length, 0.0, 0.15, 1));
+  const auto sb = discretize(make_series(length, 0.55, 0.15, 2));  // lag ~ 0.55/0.011 = 50
+  const auto sc = discretize(make_series(length, 0.0, 4.0, 3));    // noise-dominated
+
+  std::cout << "binary move sequences of length " << sa.size() << "\n\n";
+
+  const auto similarity = [](SequenceView x, SequenceView y) {
+    return static_cast<double>(lcs_bit_combing(x, y, BitVariant::kOptimized, true)) /
+           static_cast<double>(std::max(x.size(), y.size()));
+  };
+
+  Timer t;
+  const double sim_ab = similarity(sa, sb);
+  const double one_run = t.seconds();
+  std::cout << "bit-parallel LCS similarity (one run: " << one_run << " s)\n";
+  std::cout << "  related series   A~B: " << sim_ab << "\n";
+  std::cout << "  noisy control    A~C: " << similarity(sa, sc) << "\n";
+  std::cout << "  self             A~A: " << similarity(sa, sa) << "\n\n";
+
+  // Lag scan: slide B against A and find the lag maximising LCS similarity.
+  // The generator shifts B's seasonal component by ~50 steps.
+  const Index max_lag = std::min<Index>(100, static_cast<Index>(sa.size()) / 4);
+  const Index lag_step = std::max<Index>(1, max_lag / 10);
+  Table lags({"lag", "similarity"});
+  double best_sim = -1.0;
+  Index best_lag = 0;
+  for (Index lag = 0; lag <= max_lag; lag += lag_step) {
+    const SequenceView va{sa.data() + lag, sa.size() - static_cast<std::size_t>(lag)};
+    const SequenceView vb{sb.data(), sb.size() - static_cast<std::size_t>(lag)};
+    const double sim = similarity(va, vb);
+    lags.row().cell(static_cast<long long>(lag)).cell(sim, 4);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best_lag = lag;
+    }
+  }
+  lags.print(std::cout, "lag scan (shift A left by `lag` against B)");
+  std::cout << "\nbest alignment lag = " << best_lag << " (similarity " << best_sim << ")\n";
+
+  // Sanity: bit-parallel equals classical DP on a truncated prefix.
+  const Index check = std::min<Index>(3000, static_cast<Index>(sa.size()));
+  const SequenceView pa{sa.data(), static_cast<std::size_t>(check)};
+  const SequenceView pb{sb.data(), static_cast<std::size_t>(check)};
+  std::cout << "\nDP cross-check on " << check
+            << "-step prefix: " << std::boolalpha
+            << (lcs_bit_combing(pa, pb) == lcs_score_dp(pa, pb)) << "\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds everything and regenerates every experiment of EXPERIMENTS.md.
+#
+#   scripts/run_experiments.sh [scale]
+#
+# `scale` multiplies the default problem sizes (SEMILOCAL_BENCH_SCALE);
+# scale ~20 approaches the paper's braid sizes, ~5 its string lengths.
+# Outputs: test_output.txt, bench_output.txt and one CSV per figure/ablation
+# (CSVs are written to the current working directory; tidy them into
+# results/ if you want to keep them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+export SEMILOCAL_BENCH_SCALE="$SCALE"
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] && "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt, bench_output.txt and *.csv"

@@ -1,0 +1,88 @@
+// Preallocated memory for the steady-ant recursion (paper Section 4.2.1).
+//
+// The "memory" optimization of the paper replaces per-level heap allocation
+// with (a) two ping-pong buffers for the permutations themselves (the roles
+// of "used_block" / "free_block" alternate per recursion level) and (b) a
+// stack-disciplined arena for the row/column index mappings and the
+// ant-passage scratch. In the parallel algorithm sibling tasks carve
+// disjoint sub-arenas so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Bump allocator over `int32_t` entries with stack (mark/release)
+/// discipline. Non-owning view; see ArenaStorage for the owner.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(std::int32_t* base, std::size_t capacity)
+      : base_(base), capacity_(capacity) {}
+
+  /// Allocates `n` entries; throws std::bad_alloc-like logic_error when the
+  /// arena was sized too small (a bug in the requirement bound, not an OOM).
+  std::span<std::int32_t> alloc(std::size_t n) {
+    if (cursor_ + n > capacity_) {
+      throw std::logic_error("Arena::alloc: preallocated block exhausted");
+    }
+    std::span<std::int32_t> s{base_ + cursor_, n};
+    cursor_ += n;
+    return s;
+  }
+
+  /// Current stack mark, to be passed to release().
+  [[nodiscard]] std::size_t mark() const { return cursor_; }
+
+  /// Pops everything allocated since `mark`.
+  void release(std::size_t mark) {
+    if (mark > cursor_) throw std::logic_error("Arena::release: mark above cursor");
+    cursor_ = mark;
+  }
+
+  /// Splits off an independent arena of `n` entries for a sibling task.
+  Arena carve(std::size_t n) {
+    if (cursor_ + n > capacity_) {
+      throw std::logic_error("Arena::carve: preallocated block exhausted");
+    }
+    Arena child(base_ + cursor_, n);
+    cursor_ += n;
+    return child;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return cursor_; }
+
+ private:
+  std::int32_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// Owning storage for an Arena.
+class ArenaStorage {
+ public:
+  explicit ArenaStorage(std::size_t capacity) : buffer_(capacity) {}
+
+  Arena arena() { return Arena(buffer_.data(), buffer_.size()); }
+
+ private:
+  std::vector<std::int32_t> buffer_;
+};
+
+/// Arena entries needed by one steady-ant invocation of order `n` whose top
+/// `parallel_depth` recursion levels may run as concurrent sibling tasks.
+///
+/// Per call of order n: 2n mapping entries persist across the recursive
+/// calls, a transient n-entry rank buffer lives only inside the split, and
+/// 2n entries of overlay scratch are taken after the children release their
+/// memory. Sequential children reuse the same arena region one after the
+/// other; parallel children need disjoint carves.
+std::size_t steady_ant_arena_requirement(Index n, int parallel_depth);
+
+}  // namespace semilocal

@@ -1,0 +1,112 @@
+#include "braid/monge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace semilocal {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols, Index fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), fill) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("DenseMatrix: negative dimensions");
+}
+
+DenseMatrix distribution_matrix(const Permutation& p) {
+  const Index n = p.size();
+  DenseMatrix sigma(n + 1, n + 1, 0);
+  // sigma(i, j) counts nonzeros with row >= i, col < j. Build by scanning
+  // rows bottom-up, accumulating a column histogram prefix.
+  for (Index i = n - 1; i >= 0; --i) {
+    // Start from the row below.
+    for (Index j = 0; j <= n; ++j) sigma.at(i, j) = sigma.at(i + 1, j);
+    const auto c = p.col_of(i);
+    if (c != Permutation::kNone) {
+      for (Index j = c + 1; j <= n; ++j) ++sigma.at(i, j);
+    }
+  }
+  return sigma;
+}
+
+DenseMatrix min_plus_product(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("min_plus_product: inner dimensions differ");
+  DenseMatrix c(a.rows(), b.cols(), 0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < b.cols(); ++k) {
+      Index best = a.at(i, 0) + b.at(0, k);
+      for (Index j = 1; j < a.cols(); ++j) {
+        best = std::min(best, a.at(i, j) + b.at(j, k));
+      }
+      c.at(i, k) = best;
+    }
+  }
+  return c;
+}
+
+bool is_monge(const DenseMatrix& m) {
+  for (Index i = 0; i + 1 < m.rows(); ++i) {
+    for (Index j = 0; j + 1 < m.cols(); ++j) {
+      if (m.at(i, j) + m.at(i + 1, j + 1) > m.at(i + 1, j) + m.at(i, j + 1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_unit_monge_distribution(const DenseMatrix& m) {
+  if (m.rows() != m.cols() || m.rows() < 1) return false;
+  const Index n = m.rows() - 1;
+  // Border: sigma(n, j) == 0 (no rows >= n), sigma(i, 0) == 0 (no cols < 0).
+  for (Index j = 0; j <= n; ++j) {
+    if (m.at(n, j) != 0) return false;
+  }
+  for (Index i = 0; i <= n; ++i) {
+    if (m.at(i, 0) != 0) return false;
+  }
+  std::vector<Index> col_used(static_cast<std::size_t>(n), 0);
+  for (Index r = 0; r < n; ++r) {
+    Index row_sum = 0;
+    for (Index c = 0; c < n; ++c) {
+      const Index d = m.at(r, c + 1) - m.at(r, c) - m.at(r + 1, c + 1) + m.at(r + 1, c);
+      if (d != 0 && d != 1) return false;
+      row_sum += d;
+      col_used[static_cast<std::size_t>(c)] += d;
+    }
+    if (row_sum != 1) return false;
+  }
+  for (const Index used : col_used) {
+    if (used != 1) return false;
+  }
+  return true;
+}
+
+Permutation permutation_from_distribution(const DenseMatrix& m) {
+  if (m.rows() != m.cols() || m.rows() < 1) {
+    throw std::invalid_argument("permutation_from_distribution: matrix must be square, order >= 1");
+  }
+  const Index n = m.rows() - 1;
+  Permutation p(n);
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      const Index d = m.at(r, c + 1) - m.at(r, c) - m.at(r + 1, c + 1) + m.at(r + 1, c);
+      if (d == 1) {
+        p.set(r, c);
+      } else if (d != 0) {
+        throw std::invalid_argument("permutation_from_distribution: not unit-Monge");
+      }
+    }
+  }
+  if (!p.is_complete()) {
+    throw std::invalid_argument("permutation_from_distribution: extraction incomplete");
+  }
+  return p;
+}
+
+Permutation multiply_naive(const Permutation& p, const Permutation& q) {
+  if (p.size() != q.size()) throw std::invalid_argument("multiply_naive: order mismatch");
+  const DenseMatrix product =
+      min_plus_product(distribution_matrix(p), distribution_matrix(q));
+  return permutation_from_distribution(product);
+}
+
+}  // namespace semilocal

@@ -1,0 +1,74 @@
+// Explicit (dense) Monge machinery: the mathematical ground truth behind
+// sticky braid multiplication.
+//
+// The distribution matrix of an n x n permutation matrix P is the
+// (n+1) x (n+1) integer matrix
+//   P_sigma(i, j) = |{ (r, c) nonzero in P : r >= i, c < j }|.
+// Sticky (Demazure) multiplication of reduced braids is defined by the
+// (min,+) product of distribution matrices:
+//   (P (.) Q)_sigma(i, k) = min_j ( P_sigma(i, j) + Q_sigma(j, k) ).
+// The result is again the distribution matrix of a permutation (the simple
+// unit-Monge property), whose nonzeros are recovered by cross-differencing.
+//
+// Everything here is O(n^2) memory / O(n^3) time and exists as a test oracle
+// and for pedagogy; the steady-ant algorithm (steady_ant.hpp) computes the
+// same product in O(n log n).
+#pragma once
+
+#include <vector>
+
+#include "braid/permutation.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Dense row-major integer matrix, minimal interface.
+class DenseMatrix {
+ public:
+  DenseMatrix(Index rows, Index cols, Index fill = 0);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  [[nodiscard]] Index& at(Index r, Index c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  [[nodiscard]] Index at(Index r, Index c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> data_;
+};
+
+/// Distribution (dominance-sum) matrix of P: size (n+1) x (n+1), computed by
+/// suffix/prefix sums in O(n^2).
+DenseMatrix distribution_matrix(const Permutation& p);
+
+/// Dense (min,+) matrix product: C(i,k) = min_j A(i,j) + B(j,k). Requires
+/// A.cols() == B.rows(). O(n^3).
+DenseMatrix min_plus_product(const DenseMatrix& a, const DenseMatrix& b);
+
+/// True iff M(i,j) + M(i+1,j+1) <= M(i+1,j) + M(i,j+1) everywhere (Monge
+/// condition for the anti-triangle orientation used here).
+bool is_monge(const DenseMatrix& m);
+
+/// True iff m is the distribution matrix of some permutation matrix: border
+/// conditions plus every 2x2 cross-difference in {0, 1} with row/col sums 1.
+bool is_unit_monge_distribution(const DenseMatrix& m);
+
+/// Recovers the permutation whose distribution matrix is `m` (throws if `m`
+/// is not a unit-Monge distribution matrix). Cross-difference extraction:
+///   P(r, c) = m(r, c+1) - m(r, c) - m(r+1, c+1) + m(r+1, c).
+Permutation permutation_from_distribution(const DenseMatrix& m);
+
+/// Reference sticky multiplication: distribution matrices + (min,+) product
+/// + cross-difference extraction. O(n^3) time, O(n^2) memory. The oracle for
+/// every fast multiplication algorithm in this library.
+Permutation multiply_naive(const Permutation& p, const Permutation& q);
+
+}  // namespace semilocal

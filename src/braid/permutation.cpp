@@ -1,0 +1,105 @@
+#include "braid/permutation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace semilocal {
+
+Permutation::Permutation(Index n)
+    : row_to_col_(static_cast<std::size_t>(n), kNone),
+      col_to_row_(static_cast<std::size_t>(n), kNone) {
+  if (n < 0) throw std::invalid_argument("Permutation: negative order");
+}
+
+Permutation Permutation::identity(Index n) {
+  Permutation p(n);
+  for (Index i = 0; i < n; ++i) p.set(i, i);
+  return p;
+}
+
+Permutation Permutation::reversal(Index n) {
+  Permutation p(n);
+  for (Index i = 0; i < n; ++i) p.set(i, n - 1 - i);
+  return p;
+}
+
+Permutation Permutation::from_row_to_col(std::vector<Entry> row_to_col) {
+  const Index n = static_cast<Index>(row_to_col.size());
+  Permutation p(n);
+  p.row_to_col_ = std::move(row_to_col);
+  for (Index r = 0; r < n; ++r) {
+    const Entry c = p.row_to_col_[static_cast<std::size_t>(r)];
+    if (c < 0 || c >= n) throw std::invalid_argument("from_row_to_col: column out of range");
+    if (p.col_to_row_[static_cast<std::size_t>(c)] != kNone) {
+      throw std::invalid_argument("from_row_to_col: duplicate column");
+    }
+    p.col_to_row_[static_cast<std::size_t>(c)] = static_cast<Entry>(r);
+  }
+  return p;
+}
+
+Permutation Permutation::random(Index n, std::uint64_t seed) {
+  return from_row_to_col(random_permutation_vector(n, seed));
+}
+
+void Permutation::set(Index row, Index col) {
+  assert(row >= 0 && row < size() && col >= 0 && col < size());
+  assert(row_to_col_[static_cast<std::size_t>(row)] == kNone);
+  assert(col_to_row_[static_cast<std::size_t>(col)] == kNone);
+  row_to_col_[static_cast<std::size_t>(row)] = static_cast<Entry>(col);
+  col_to_row_[static_cast<std::size_t>(col)] = static_cast<Entry>(row);
+}
+
+bool Permutation::is_complete() const {
+  for (const Entry c : row_to_col_) {
+    if (c == kNone) return false;
+  }
+  for (const Entry r : col_to_row_) {
+    if (r == kNone) return false;
+  }
+  // Cross-consistency.
+  for (Index r = 0; r < size(); ++r) {
+    if (row_of(col_of(r)) != r) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation p(size());
+  p.row_to_col_ = col_to_row_;
+  p.col_to_row_ = row_to_col_;
+  return p;
+}
+
+Permutation Permutation::rotate180() const {
+  const Index n = size();
+  Permutation p(n);
+  for (Index r = 0; r < n; ++r) {
+    const Entry c = col_of(r);
+    if (c != kNone) p.set(n - 1 - r, n - 1 - c);
+  }
+  return p;
+}
+
+Index Permutation::dominance_sum(Index i, Index j) const {
+  Index count = 0;
+  for (Index r = i; r < size(); ++r) {
+    const Entry c = col_of(r);
+    if (c != kNone && c < j) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<Index, Index>> Permutation::nonzeros() const {
+  std::vector<std::pair<Index, Index>> nz;
+  nz.reserve(static_cast<std::size_t>(size()));
+  for (Index r = 0; r < size(); ++r) {
+    const Entry c = col_of(r);
+    if (c != kNone) nz.emplace_back(r, c);
+  }
+  return nz;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,96 @@
+#include "braid/precalc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "braid/monge.hpp"
+#include "braid/permutation.hpp"
+
+namespace semilocal {
+namespace {
+
+constexpr std::uint32_t kFactorial[9] = {1, 1, 2, 6, 24, 120, 720, 5040, 40320};
+
+// Permutation with the given lexicographic rank over order n.
+std::vector<std::int32_t> unrank(std::uint32_t rank, Index n) {
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (Index i = n; i > 0; --i) {
+    const std::uint32_t f = kFactorial[i - 1];
+    const std::uint32_t digit = rank / f;
+    rank %= f;
+    out.push_back(pool[digit]);
+    pool.erase(pool.begin() + digit);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t SmallProductTable::rank(std::span<const std::int32_t> row_to_col) {
+  const std::size_t n = row_to_col.size();
+  assert(n <= 8);
+  std::uint32_t r = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t smaller_later = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (row_to_col[j] < row_to_col[i]) ++smaller_later;
+    }
+    r += smaller_later * kFactorial[n - 1 - i];
+  }
+  return r;
+}
+
+std::uint32_t SmallProductTable::encode(std::span<const std::int32_t> row_to_col) {
+  assert(row_to_col.size() <= 8);
+  std::uint32_t code = 0;
+  for (std::size_t k = 0; k < row_to_col.size(); ++k) {
+    code |= static_cast<std::uint32_t>(row_to_col[k] & 0x7) << (4 * k);
+  }
+  return code;
+}
+
+void SmallProductTable::decode(std::uint32_t code, std::span<std::int32_t> row_to_col) {
+  for (std::size_t k = 0; k < row_to_col.size(); ++k) {
+    row_to_col[k] = static_cast<std::int32_t>((code >> (4 * k)) & 0x7);
+  }
+}
+
+SmallProductTable::SmallProductTable() {
+  for (Index n = 1; n <= kMaxOrder; ++n) {
+    const std::uint32_t fact = kFactorial[n];
+    auto& table = tables_[n];
+    table.resize(static_cast<std::size_t>(fact) * fact);
+    for (std::uint32_t rp = 0; rp < fact; ++rp) {
+      const auto p = Permutation::from_row_to_col(unrank(rp, n));
+      for (std::uint32_t rq = 0; rq < fact; ++rq) {
+        const auto q = Permutation::from_row_to_col(unrank(rq, n));
+        const Permutation r = multiply_naive(p, q);
+        table[static_cast<std::size_t>(rp) * fact + rq] = encode(r.row_to_col());
+      }
+    }
+  }
+}
+
+const SmallProductTable& SmallProductTable::instance() {
+  static const SmallProductTable table;  // thread-safe magic static
+  return table;
+}
+
+void SmallProductTable::multiply(std::span<const std::int32_t> p,
+                                 std::span<const std::int32_t> q,
+                                 std::span<std::int32_t> out) const {
+  const std::size_t n = p.size();
+  assert(n >= 1 && static_cast<Index>(n) <= kMaxOrder);
+  assert(q.size() == n && out.size() == n);
+  const std::uint32_t fact = kFactorial[n];
+  const std::uint32_t code =
+      tables_[n][static_cast<std::size_t>(rank(p)) * fact + rank(q)];
+  decode(code, out);
+}
+
+}  // namespace semilocal

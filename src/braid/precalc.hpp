@@ -1,0 +1,49 @@
+// Precomputed products of small permutation matrices (paper Section 4.2.1).
+//
+// The steady-ant recursion bottoms out on tiny braids; the paper cuts the
+// last levels of the recursion tree by precomputing all (5!)^2 = 14400
+// products of 5x5 permutation matrices (plus all smaller sizes) and packing
+// each product into one 32-bit machine word: 8 tetrades, tetrade k holding
+// the column index of the nonzero in row k (a top-left corner of an 8x8
+// permutation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Lazily-built lookup tables for sticky products of braids of order <= 5.
+class SmallProductTable {
+ public:
+  /// Largest braid order covered by the tables.
+  static constexpr Index kMaxOrder = 5;
+
+  /// Singleton accessor; first call builds the tables (~14k naive products).
+  static const SmallProductTable& instance();
+
+  /// Packs a permutation of order n <= 8 into tetrades.
+  static std::uint32_t encode(std::span<const std::int32_t> row_to_col);
+
+  /// Unpacks `code` into `row_to_col` (size gives the order).
+  static void decode(std::uint32_t code, std::span<std::int32_t> row_to_col);
+
+  /// Looks up r = p (.) q for braids of order p.size() <= kMaxOrder and
+  /// writes the result into `out` (same size). Precondition: sizes match.
+  void multiply(std::span<const std::int32_t> p, std::span<const std::int32_t> q,
+                std::span<std::int32_t> out) const;
+
+  /// Lexicographic rank of a small permutation (Lehmer code), used to index
+  /// the lookup tables.
+  static std::uint32_t rank(std::span<const std::int32_t> row_to_col);
+
+ private:
+  SmallProductTable();
+
+  // tables_[n] has n! * n! packed products; index rank(p) * n! + rank(q).
+  std::vector<std::uint32_t> tables_[kMaxOrder + 1];
+};
+
+}  // namespace semilocal

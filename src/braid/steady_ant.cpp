@@ -1,0 +1,308 @@
+#include "braid/steady_ant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "braid/memory_pool.hpp"
+#include "braid/precalc.hpp"
+
+namespace semilocal {
+namespace {
+
+using I32 = std::int32_t;
+using Span = std::span<I32>;
+using CSpan = std::span<const I32>;
+
+// Views into the split pieces of one divide step. `p_*` / `q_*` hold the
+// compressed row->col arrays of the four sub-permutations; the maps record
+// original row indices (for P's halves) and original column indices (for
+// Q's halves) of the compressed coordinates.
+struct SplitViews {
+  Span p_lo, q_lo, p_hi, q_hi;
+  Span rowmap_lo, rowmap_hi;
+  Span colmap_lo, colmap_hi;
+};
+
+// Splits P by the column threshold h and Q by the row threshold h.
+// `rank_tmp` is transient scratch of size n.
+void split_inputs(CSpan p, CSpan q, Index h, SplitViews& s, Span rank_tmp) {
+  const Index n = static_cast<Index>(p.size());
+  Index lo = 0;
+  Index hi = 0;
+  for (Index r = 0; r < n; ++r) {
+    const I32 c = p[static_cast<std::size_t>(r)];
+    if (c < h) {
+      s.rowmap_lo[static_cast<std::size_t>(lo)] = static_cast<I32>(r);
+      s.p_lo[static_cast<std::size_t>(lo)] = c;
+      ++lo;
+    } else {
+      s.rowmap_hi[static_cast<std::size_t>(hi)] = static_cast<I32>(r);
+      s.p_hi[static_cast<std::size_t>(hi)] = static_cast<I32>(c - h);
+      ++hi;
+    }
+  }
+  assert(lo == h && hi == n - h);
+  // Mark the columns hit by the first h rows of Q, then assign compressed
+  // ranks to both classes in one ordered pass.
+  for (Index c = 0; c < n; ++c) rank_tmp[static_cast<std::size_t>(c)] = 0;
+  for (Index r = 0; r < h; ++r) rank_tmp[static_cast<std::size_t>(q[static_cast<std::size_t>(r)])] = 1;
+  Index lo_rank = 0;
+  Index hi_rank = 0;
+  for (Index c = 0; c < n; ++c) {
+    if (rank_tmp[static_cast<std::size_t>(c)] != 0) {
+      s.colmap_lo[static_cast<std::size_t>(lo_rank)] = static_cast<I32>(c);
+      rank_tmp[static_cast<std::size_t>(c)] = static_cast<I32>(lo_rank++);
+    } else {
+      s.colmap_hi[static_cast<std::size_t>(hi_rank)] = static_cast<I32>(c);
+      rank_tmp[static_cast<std::size_t>(c)] = static_cast<I32>(hi_rank++);
+    }
+  }
+  for (Index r = 0; r < h; ++r) {
+    s.q_lo[static_cast<std::size_t>(r)] = rank_tmp[static_cast<std::size_t>(q[static_cast<std::size_t>(r)])];
+  }
+  for (Index r = h; r < n; ++r) {
+    s.q_hi[static_cast<std::size_t>(r - h)] = rank_tmp[static_cast<std::size_t>(q[static_cast<std::size_t>(r)])];
+  }
+}
+
+// Expands the recursive results back to original coordinates and writes the
+// overlay tag arrays consumed by the ant passage:
+//   row_tag[r] = (col << 1) | is_lo,   col_tag[c] = (row << 1) | is_lo.
+void expand_tags(CSpan r_lo, CSpan r_hi, const SplitViews& s, Span row_tag, Span col_tag) {
+  for (std::size_t i = 0; i < r_lo.size(); ++i) {
+    const I32 r = s.rowmap_lo[i];
+    const I32 c = s.colmap_lo[static_cast<std::size_t>(r_lo[i])];
+    row_tag[static_cast<std::size_t>(r)] = static_cast<I32>((c << 1) | 1);
+    col_tag[static_cast<std::size_t>(c)] = static_cast<I32>((r << 1) | 1);
+  }
+  for (std::size_t i = 0; i < r_hi.size(); ++i) {
+    const I32 r = s.rowmap_hi[i];
+    const I32 c = s.colmap_hi[static_cast<std::size_t>(r_hi[i])];
+    row_tag[static_cast<std::size_t>(r)] = static_cast<I32>(c << 1);
+    col_tag[static_cast<std::size_t>(c)] = static_cast<I32>(r << 1);
+  }
+}
+
+// The ant passage (conquer step). Walks the corner grid from (i=n, k=0) to
+// (i=0, k=n) keeping the balance d(i,k) at zero: a free up-move crosses a
+// row whose overlay nonzero is good (kept verbatim); when both the up- and
+// the right-move would unbalance the walk, a fresh nonzero is emitted at the
+// inner corner and the ant steps diagonally. Every row receives exactly one
+// output nonzero, so `out` ends up a complete row->col permutation.
+void ant_passage(Index n, CSpan row_tag, CSpan col_tag, Span out) {
+  Index i = n;
+  Index k = 0;
+  while (i > 0 || k < n) {
+    if (i > 0) {
+      const I32 t = row_tag[static_cast<std::size_t>(i - 1)];
+      const I32 col = static_cast<I32>(t >> 1);
+      const bool is_lo = (t & 1) != 0;
+      const bool blocked = is_lo ? (col >= k) : (col < k);
+      if (!blocked) {
+        out[static_cast<std::size_t>(i - 1)] = col;  // good nonzero
+        --i;
+        continue;
+      }
+    }
+    if (k < n) {
+      const I32 t = col_tag[static_cast<std::size_t>(k)];
+      const I32 row = static_cast<I32>(t >> 1);
+      const bool is_lo = (t & 1) != 0;
+      const bool grows = is_lo ? (row >= i) : (row < i);
+      if (!grows) {
+        ++k;
+        continue;
+      }
+    }
+    assert(i > 0 && k < n);
+    out[static_cast<std::size_t>(i - 1)] = static_cast<I32>(k);  // fresh nonzero
+    --i;
+    ++k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// base / precalc variants: plain recursion with per-level heap allocation.
+// ---------------------------------------------------------------------------
+
+void multiply_alloc(CSpan p, CSpan q, Span out, const SmallProductTable* table,
+                    Index cutoff) {
+  const Index n = static_cast<Index>(p.size());
+  if (table != nullptr && n <= cutoff) {
+    table->multiply(p, q, out);
+    return;
+  }
+  if (n == 1) {
+    out[0] = 0;
+    return;
+  }
+  const Index h = n / 2;
+  std::vector<I32> p_lo(static_cast<std::size_t>(h)), q_lo(static_cast<std::size_t>(h));
+  std::vector<I32> p_hi(static_cast<std::size_t>(n - h)), q_hi(static_cast<std::size_t>(n - h));
+  std::vector<I32> rowmap_lo(static_cast<std::size_t>(h)), rowmap_hi(static_cast<std::size_t>(n - h));
+  std::vector<I32> colmap_lo(static_cast<std::size_t>(h)), colmap_hi(static_cast<std::size_t>(n - h));
+  SplitViews s{p_lo, q_lo, p_hi, q_hi, rowmap_lo, rowmap_hi, colmap_lo, colmap_hi};
+  {
+    std::vector<I32> rank_tmp(static_cast<std::size_t>(n));
+    split_inputs(p, q, h, s, rank_tmp);
+  }
+  std::vector<I32> r_lo(static_cast<std::size_t>(h)), r_hi(static_cast<std::size_t>(n - h));
+  multiply_alloc(p_lo, q_lo, r_lo, table, cutoff);
+  multiply_alloc(p_hi, q_hi, r_hi, table, cutoff);
+  std::vector<I32> row_tag(static_cast<std::size_t>(n)), col_tag(static_cast<std::size_t>(n));
+  expand_tags(r_lo, r_hi, s, row_tag, col_tag);
+  ant_passage(n, row_tag, col_tag, out);
+}
+
+// ---------------------------------------------------------------------------
+// memory / combined / parallel variants: ping-pong buffers + mapping arena.
+//
+// Contract: p lives in cur[0, n), q in cur[n, 2n); other[0, 2n) is scratch
+// owned by this call; the result replaces cur[0, n).
+// ---------------------------------------------------------------------------
+
+void multiply_pooled(I32* cur, I32* other, Index n, Arena& arena,
+                     const SmallProductTable* table, Index cutoff, int depth) {
+  if (table != nullptr && n <= cutoff) {
+    table->multiply({cur, static_cast<std::size_t>(n)},
+                    {cur + n, static_cast<std::size_t>(n)},
+                    {cur, static_cast<std::size_t>(n)});
+    return;
+  }
+  if (n == 1) {
+    cur[0] = 0;
+    return;
+  }
+  const Index h = n / 2;
+  const std::size_t frame = arena.mark();
+  SplitViews s;
+  s.rowmap_lo = arena.alloc(static_cast<std::size_t>(h));
+  s.rowmap_hi = arena.alloc(static_cast<std::size_t>(n - h));
+  s.colmap_lo = arena.alloc(static_cast<std::size_t>(h));
+  s.colmap_hi = arena.alloc(static_cast<std::size_t>(n - h));
+  // Children layout in `other`: [p_lo | q_lo | p_hi | q_hi].
+  s.p_lo = Span{other, static_cast<std::size_t>(h)};
+  s.q_lo = Span{other + h, static_cast<std::size_t>(h)};
+  s.p_hi = Span{other + 2 * h, static_cast<std::size_t>(n - h)};
+  s.q_hi = Span{other + 2 * h + (n - h), static_cast<std::size_t>(n - h)};
+  {
+    const std::size_t transient = arena.mark();
+    Span rank_tmp = arena.alloc(static_cast<std::size_t>(n));
+    split_inputs({cur, static_cast<std::size_t>(n)}, {cur + n, static_cast<std::size_t>(n)},
+                 h, s, rank_tmp);
+    arena.release(transient);
+  }
+  if (depth > 0) {
+    const std::size_t before_carve = arena.mark();
+    Arena a_lo = arena.carve(steady_ant_arena_requirement(h, depth - 1));
+    Arena a_hi = arena.carve(steady_ant_arena_requirement(n - h, depth - 1));
+#pragma omp task default(none) firstprivate(other, cur, h, a_lo, table, cutoff, depth)
+    {
+      Arena local = a_lo;
+      multiply_pooled(other, cur, h, local, table, cutoff, depth - 1);
+    }
+#pragma omp task default(none) firstprivate(other, cur, h, n, a_hi, table, cutoff, depth)
+    {
+      Arena local = a_hi;
+      multiply_pooled(other + 2 * h, cur + 2 * h, n - h, local, table, cutoff, depth - 1);
+    }
+#pragma omp taskwait
+    arena.release(before_carve);
+  } else {
+    const std::size_t child_frame = arena.mark();
+    multiply_pooled(other, cur, h, arena, table, cutoff, 0);
+    arena.release(child_frame);
+    multiply_pooled(other + 2 * h, cur + 2 * h, n - h, arena, table, cutoff, 0);
+    arena.release(child_frame);
+  }
+  Span row_tag = arena.alloc(static_cast<std::size_t>(n));
+  Span col_tag = arena.alloc(static_cast<std::size_t>(n));
+  expand_tags({other, static_cast<std::size_t>(h)},
+              {other + 2 * h, static_cast<std::size_t>(n - h)}, s, row_tag, col_tag);
+  ant_passage(n, row_tag, col_tag, {cur, static_cast<std::size_t>(n)});
+  arena.release(frame);
+}
+
+}  // namespace
+
+std::size_t steady_ant_arena_requirement(Index n, int parallel_depth) {
+  // Conservative: sized for the deepest possible recursion (down to order 1,
+  // as used when the precalc tables are disabled).
+  if (n <= 1) return 16;
+  const Index h = n / 2;
+  const Index rest = n - h;
+  // 2n persistent mapping entries per frame; transient peak is the larger of
+  // the rank scratch (n), the children's needs, and the tag scratch (2n).
+  const std::size_t maps = static_cast<std::size_t>(2 * n);
+  std::size_t children;
+  if (parallel_depth > 0) {
+    children = steady_ant_arena_requirement(h, parallel_depth - 1) +
+               steady_ant_arena_requirement(rest, parallel_depth - 1);
+  } else {
+    children = steady_ant_arena_requirement(rest, 0);
+  }
+  const std::size_t transient = std::max(children, static_cast<std::size_t>(2 * n));
+  return maps + transient + 8;
+}
+
+std::vector<std::int32_t> multiply_row_to_col(CSpan p, CSpan q, const SteadyAntOptions& opts) {
+  if (p.size() != q.size()) throw std::invalid_argument("multiply_row_to_col: order mismatch");
+  const Index n = static_cast<Index>(p.size());
+  if (n == 0) return {};
+  const SmallProductTable* table = opts.precalc ? &SmallProductTable::instance() : nullptr;
+  const Index cutoff =
+      std::clamp<Index>(opts.precalc_cutoff, 1, SmallProductTable::kMaxOrder);
+  std::vector<I32> out(static_cast<std::size_t>(n));
+  if (!opts.preallocate && opts.parallel_depth <= 0) {
+    multiply_alloc(p, q, out, table, cutoff);
+    return out;
+  }
+  std::vector<I32> buf_cur(static_cast<std::size_t>(2 * n));
+  std::vector<I32> buf_other(static_cast<std::size_t>(2 * n));
+  std::copy(p.begin(), p.end(), buf_cur.begin());
+  std::copy(q.begin(), q.end(), buf_cur.begin() + n);
+  const int depth = std::max(opts.parallel_depth, 0);
+  ArenaStorage storage(steady_ant_arena_requirement(n, depth));
+  Arena arena = storage.arena();
+  if (depth > 0) {
+#pragma omp parallel default(none) shared(buf_cur, buf_other, n, arena, table, cutoff, depth)
+    {
+#pragma omp single
+      multiply_pooled(buf_cur.data(), buf_other.data(), n, arena, table, cutoff, depth);
+    }
+  } else {
+    multiply_pooled(buf_cur.data(), buf_other.data(), n, arena, table, cutoff, 0);
+  }
+  std::copy(buf_cur.begin(), buf_cur.begin() + n, out.begin());
+  return out;
+}
+
+Permutation multiply(const Permutation& p, const Permutation& q, const SteadyAntOptions& opts) {
+  return Permutation::from_row_to_col(
+      multiply_row_to_col(p.row_to_col(), q.row_to_col(), opts));
+}
+
+Permutation multiply_base(const Permutation& p, const Permutation& q) {
+  return multiply(p, q, SteadyAntOptions{});
+}
+
+Permutation multiply_precalc(const Permutation& p, const Permutation& q) {
+  return multiply(p, q, SteadyAntOptions{.precalc = true});
+}
+
+Permutation multiply_memory(const Permutation& p, const Permutation& q) {
+  return multiply(p, q, SteadyAntOptions{.preallocate = true});
+}
+
+Permutation multiply_combined(const Permutation& p, const Permutation& q) {
+  return multiply(p, q, SteadyAntOptions{.precalc = true, .preallocate = true});
+}
+
+Permutation multiply_parallel(const Permutation& p, const Permutation& q, int parallel_depth) {
+  return multiply(p, q, SteadyAntOptions{.precalc = true,
+                                         .preallocate = true,
+                                         .parallel_depth = parallel_depth});
+}
+
+}  // namespace semilocal

@@ -1,0 +1,67 @@
+// Steady-ant sticky braid multiplication (paper Listings 2 and 5).
+//
+// Computes R = P (.) Q, the sticky (Demazure) product of two reduced braids
+// given as n x n permutation matrices, in O(n log n) time. The divide step
+// splits P by columns and Q by rows around the midpoint, recurses on the two
+// halves, and the conquer step overlays the two partial results and runs the
+// "ant passage": a single monotone walk over the (n+1) x (n+1) grid of
+// distribution-matrix corners that tracks the sign of
+//   d(i,k) = sigma'_hi(i,k) - sigma'_lo(i,k)
+// and emits the "fresh" nonzeros where the minimum switches sides, while
+// classifying the overlaid nonzeros into good (kept) and bad (dropped).
+//
+// Variants evaluated in the paper (Figure 4):
+//   base     - plain recursion, per-level heap allocation
+//   precalc  - recursion bottoms out in the small-product lookup tables
+//   memory   - preallocated ping-pong buffers + mapping arena
+//   combined - both optimizations
+//   parallel - OpenMP task recursion over the memory variant (Listing 5)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "braid/permutation.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Tuning knobs for the steady-ant multiplication.
+struct SteadyAntOptions {
+  /// Use the precomputed small-product tables as the recursion base.
+  bool precalc = false;
+  /// Use preallocated ping-pong buffers and a mapping arena instead of
+  /// per-level heap allocation.
+  bool preallocate = false;
+  /// Number of top recursion levels that spawn OpenMP tasks; 0 runs fully
+  /// sequentially. Implies preallocate (sibling tasks need carved arenas).
+  int parallel_depth = 0;
+  /// Largest order resolved by table lookup when `precalc` is on, clamped
+  /// to [1, SmallProductTable::kMaxOrder]. Exposed for the ablation bench
+  /// (the paper's footnote weighs order 5 vs the infeasible order 6).
+  Index precalc_cutoff = 5;
+};
+
+/// Low-level entry point on raw row->col arrays (both inputs must be
+/// complete permutations of the same order). Returns the product's row->col.
+std::vector<std::int32_t> multiply_row_to_col(std::span<const std::int32_t> p,
+                                              std::span<const std::int32_t> q,
+                                              const SteadyAntOptions& opts = {});
+
+/// Sticky product of two reduced braids.
+Permutation multiply(const Permutation& p, const Permutation& q,
+                     const SteadyAntOptions& opts = {});
+
+/// Named variants matching the paper's evaluation legend.
+Permutation multiply_base(const Permutation& p, const Permutation& q);
+Permutation multiply_precalc(const Permutation& p, const Permutation& q);
+Permutation multiply_memory(const Permutation& p, const Permutation& q);
+Permutation multiply_combined(const Permutation& p, const Permutation& q);
+
+/// Parallel steady ant (Listing 5): OpenMP tasks in the top `parallel_depth`
+/// levels, sequential combined variant below.
+Permutation multiply_parallel(const Permutation& p, const Permutation& q,
+                              int parallel_depth);
+
+}  // namespace semilocal

@@ -1,0 +1,90 @@
+#include "core/braid_render.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace semilocal {
+
+std::string render_combing_grid(SequenceView a, SequenceView b) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  // Re-run Listing 1, recording each cell's decision.
+  std::vector<std::int32_t> h(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (Index i = 0; i < m; ++i) h[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  for (Index j = 0; j < n; ++j) v[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(m + j);
+  std::vector<CellDecision> cells(static_cast<std::size_t>(m * n), CellDecision::kCross);
+  for (Index i = 0; i < m; ++i) {
+    const Index hi = m - 1 - i;
+    for (Index j = 0; j < n; ++j) {
+      const auto hs = h[static_cast<std::size_t>(hi)];
+      const auto vs = v[static_cast<std::size_t>(j)];
+      CellDecision d;
+      if (a[static_cast<std::size_t>(i)] == b[static_cast<std::size_t>(j)]) {
+        d = CellDecision::kMatch;
+      } else if (hs > vs) {
+        d = CellDecision::kAlreadyCrossed;
+      } else {
+        d = CellDecision::kCross;
+      }
+      if (d != CellDecision::kCross) {
+        h[static_cast<std::size_t>(hi)] = vs;
+        v[static_cast<std::size_t>(j)] = hs;
+      }
+      cells[static_cast<std::size_t>(i * n + j)] = d;
+    }
+  }
+  std::ostringstream out;
+  out << "    ";
+  for (Index j = 0; j < n; ++j) out << ' ' << to_string(b.subspan(static_cast<std::size_t>(j), 1));
+  out << '\n';
+  out << "   +" << std::string(static_cast<std::size_t>(2 * n), '-') << "+\n";
+  for (Index i = 0; i < m; ++i) {
+    out << ' ' << to_string(a.subspan(static_cast<std::size_t>(i), 1)) << " |";
+    for (Index j = 0; j < n; ++j) {
+      out << ' ' << static_cast<char>(cells[static_cast<std::size_t>(i * n + j)]);
+    }
+    out << " |\n";
+  }
+  out << "   +" << std::string(static_cast<std::size_t>(2 * n), '-') << "+\n";
+  out << "   legend: '=' match (bounce), 'X' cross, ')' crossed before (bounce)\n";
+  return out.str();
+}
+
+std::string render_permutation(const Permutation& p) {
+  std::ostringstream out;
+  for (Index r = 0; r < p.size(); ++r) {
+    for (Index c = 0; c < p.size(); ++c) {
+      out << (p.col_of(r) == c ? '*' : '.');
+      if (c + 1 < p.size()) out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_kernel_wiring(const SemiLocalKernel& kernel) {
+  const Index m = kernel.m();
+  const Index n = kernel.n();
+  std::ostringstream out;
+  out << "strand  enters            exits\n";
+  for (Index r = 0; r < m + n; ++r) {
+    const Index c = kernel.permutation().col_of(r);
+    out << "  " << r << "\t";
+    if (r < m) {
+      out << "left edge, row " << (m - 1 - r);
+    } else {
+      out << "top edge, col " << (r - m);
+    }
+    out << "  ->  ";
+    if (c < n) {
+      out << "bottom edge, col " << c;
+    } else {
+      out << "right edge, row " << (m - 1 - (c - n));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace semilocal

@@ -1,0 +1,34 @@
+// Text rendering of sticky braids and kernels (Figure 1 of the paper as
+// ASCII art). Intended for teaching, debugging and the braid_explorer
+// example -- small inputs only.
+#pragma once
+
+#include <string>
+
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// What iterative combing decided in each cell of the LCS grid.
+enum class CellDecision : char {
+  kMatch = '=',         ///< match: strands must not cross (they bounce)
+  kAlreadyCrossed = ')',///< mismatch, but this pair crossed before: bounce
+  kCross = 'X',         ///< mismatch, first meeting: the strands cross
+};
+
+/// Runs row-major combing on (a, b) and renders the per-cell decisions as a
+/// grid with b across the top and a down the side. Legend: '=' match cell,
+/// 'X' crossing, ')' bounce of a previously-crossed pair.
+std::string render_combing_grid(SequenceView a, SequenceView b);
+
+/// Renders a permutation matrix with '.' zeros and '*' nonzeros, one row
+/// per line (row 0 on top).
+std::string render_permutation(const Permutation& p);
+
+/// Renders the kernel's wiring: for each strand, its start and end indices
+/// in the paper's numbering, annotated with which boundary edge each lies
+/// on (left/top entries, bottom/right exits).
+std::string render_kernel_wiring(const SemiLocalKernel& kernel);
+
+}  // namespace semilocal

@@ -1,0 +1,191 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace semilocal {
+namespace {
+
+SemiLocalKernel hybrid_rec(SequenceView a, SequenceView b, const HybridOptions& opts,
+                           int depth) {
+  if (depth <= 0 || a.size() + b.size() <= 4) {
+    return comb_antidiag(a, b, opts.comb);
+  }
+  const bool split_b = a.size() < b.size();
+  const SequenceView outer = split_b ? b : a;
+  const SequenceView inner = split_b ? a : b;
+  const std::size_t half = outer.size() / 2;
+  const SequenceView left = outer.subspan(0, half);
+  const SequenceView right = outer.subspan(half);
+  SemiLocalKernel l;
+  SemiLocalKernel r;
+  if (opts.parallel) {
+#pragma omp task default(none) shared(l, left, inner, opts) firstprivate(depth)
+    l = hybrid_rec(left, inner, opts, depth - 1);
+#pragma omp task default(none) shared(r, right, inner, opts) firstprivate(depth)
+    r = hybrid_rec(right, inner, opts, depth - 1);
+#pragma omp taskwait
+  } else {
+    l = hybrid_rec(left, inner, opts, depth - 1);
+    r = hybrid_rec(right, inner, opts, depth - 1);
+  }
+  const SemiLocalKernel composed = compose_horizontal(l, r, opts.ant);
+  return split_b ? composed.flipped() : composed;
+}
+
+// Chunk [begin, end) boundaries when splitting `total` into `parts` nearly
+// equal pieces.
+std::vector<Index> chunk_bounds(Index total, Index parts) {
+  std::vector<Index> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  for (Index p = 0; p <= parts; ++p) {
+    bounds[static_cast<std::size_t>(p)] = total * p / parts;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+SemiLocalKernel hybrid_combing(SequenceView a, SequenceView b, const HybridOptions& opts) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0 || n == 0) return SemiLocalKernel(Permutation::identity(m + n), m, n);
+  if (opts.parallel && opts.depth > 0) {
+    SemiLocalKernel result;
+#pragma omp parallel default(none) shared(result, a, b, opts)
+    {
+#pragma omp single
+      result = hybrid_rec(a, b, opts, opts.depth);
+    }
+    return result;
+  }
+  return hybrid_rec(a, b, opts, opts.depth);
+}
+
+std::pair<Index, Index> optimal_split(Index m, Index n, int threads, bool want_16bit) {
+  Index m_outer = 1;
+  Index n_outer = 1;
+  const Index target = std::max<Index>(1, threads);
+  const auto tile_m = [&] { return (m + m_outer - 1) / m_outer; };
+  const auto tile_n = [&] { return (n + n_outer - 1) / n_outer; };
+  // Grow the tile grid by doubling the side with the longer tile edge until
+  // every thread has a tile; then keep halving tiles while they overflow the
+  // 16-bit strand budget.
+  while (m_outer * n_outer < target ||
+         (want_16bit && tile_m() + tile_n() >= (Index{1} << 16))) {
+    if (tile_m() >= tile_n() && m_outer < m) {
+      m_outer *= 2;
+    } else if (n_outer < n) {
+      n_outer *= 2;
+    } else if (m_outer < m) {
+      m_outer *= 2;
+    } else {
+      break;  // cannot split further (tiny strings)
+    }
+  }
+  m_outer = std::min(m_outer, std::max<Index>(m, 1));
+  n_outer = std::min(n_outer, std::max<Index>(n, 1));
+  return {m_outer, n_outer};
+}
+
+SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b, Index m_outer,
+                                     Index n_outer, const HybridOptions& opts) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0 || n == 0) return SemiLocalKernel(Permutation::identity(m + n), m, n);
+  if (m_outer <= 0 || n_outer <= 0) {
+    const auto [mo, no] = optimal_split(m, n, max_threads(), opts.comb.allow_16bit);
+    m_outer = mo;
+    n_outer = no;
+  }
+  m_outer = std::clamp<Index>(m_outer, 1, m);
+  n_outer = std::clamp<Index>(n_outer, 1, n);
+
+  const auto a_bounds = chunk_bounds(m, m_outer);
+  const auto b_bounds = chunk_bounds(n, n_outer);
+  std::vector<SemiLocalKernel> grid(static_cast<std::size_t>(m_outer * n_outer));
+  const auto at = [&](Index i, Index j) -> SemiLocalKernel& {
+    return grid[static_cast<std::size_t>(i * n_outer + j)];
+  };
+
+  // Phase 1: comb every tile independently (Listing 7, first taskloop).
+  const Index tiles = m_outer * n_outer;
+  if (opts.parallel) {
+#pragma omp parallel for schedule(dynamic)
+    for (Index t = 0; t < tiles; ++t) {
+      const Index i = t / n_outer;
+      const Index j = t % n_outer;
+      const auto sub_a = a.subspan(static_cast<std::size_t>(a_bounds[static_cast<std::size_t>(i)]),
+                                   static_cast<std::size_t>(a_bounds[static_cast<std::size_t>(i + 1)] -
+                                                            a_bounds[static_cast<std::size_t>(i)]));
+      const auto sub_b = b.subspan(static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j)]),
+                                   static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j + 1)] -
+                                                            b_bounds[static_cast<std::size_t>(j)]));
+      CombOptions tile_comb = opts.comb;
+      tile_comb.parallel = false;  // tiles are the parallel unit here
+      at(i, j) = comb_antidiag(sub_a, sub_b, tile_comb);
+    }
+  } else {
+    for (Index t = 0; t < tiles; ++t) {
+      const Index i = t / n_outer;
+      const Index j = t % n_outer;
+      const auto sub_a = a.subspan(static_cast<std::size_t>(a_bounds[static_cast<std::size_t>(i)]),
+                                   static_cast<std::size_t>(a_bounds[static_cast<std::size_t>(i + 1)] -
+                                                            a_bounds[static_cast<std::size_t>(i)]));
+      const auto sub_b = b.subspan(static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j)]),
+                                   static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j + 1)] -
+                                                            b_bounds[static_cast<std::size_t>(j)]));
+      at(i, j) = comb_antidiag(sub_a, sub_b, opts.comb);
+    }
+  }
+
+  // Phase 2: pairwise reduction, merging along the longest subgrid side so
+  // the subgrids stay approximately square (Listing 7, second loop).
+  while (m_outer > 1 || n_outer > 1) {
+    bool row_reduction = m_outer < n_outer;  // merge pairs within a row
+    if (m_outer > 1 && n_outer > 1) {
+      // Both axes available: merge along the longer inner edge.
+      row_reduction = at(0, 0).m() >= at(0, 0).n();
+    }
+    if (row_reduction) {
+      const Index new_n_outer = (n_outer + 1) / 2;
+      const Index pairs = m_outer * new_n_outer;
+      std::vector<SemiLocalKernel> next(static_cast<std::size_t>(m_outer * new_n_outer));
+#pragma omp parallel for schedule(dynamic) if (opts.parallel)
+      for (Index t = 0; t < pairs; ++t) {
+        const Index i = t / new_n_outer;
+        const Index j = t % new_n_outer;
+        if (2 * j + 1 < n_outer) {
+          next[static_cast<std::size_t>(t)] =
+              compose_vertical(at(i, 2 * j), at(i, 2 * j + 1), opts.ant);
+        } else {
+          next[static_cast<std::size_t>(t)] = std::move(at(i, 2 * j));
+        }
+      }
+      grid = std::move(next);
+      n_outer = new_n_outer;
+    } else {
+      const Index new_m_outer = (m_outer + 1) / 2;
+      const Index pairs = new_m_outer * n_outer;
+      std::vector<SemiLocalKernel> next(static_cast<std::size_t>(new_m_outer * n_outer));
+#pragma omp parallel for schedule(dynamic) if (opts.parallel)
+      for (Index t = 0; t < pairs; ++t) {
+        const Index i = t / n_outer;
+        const Index j = t % n_outer;
+        if (2 * i + 1 < m_outer) {
+          next[static_cast<std::size_t>(t)] =
+              compose_horizontal(at(2 * i, j), at(2 * i + 1, j), opts.ant);
+        } else {
+          next[static_cast<std::size_t>(t)] = std::move(at(2 * i, j));
+        }
+      }
+      grid = std::move(next);
+      m_outer = new_m_outer;
+    }
+  }
+  return std::move(grid.front());
+}
+
+}  // namespace semilocal

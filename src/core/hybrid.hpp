@@ -1,0 +1,53 @@
+// Hybrid combing: coarse-grained recursion / tiling on top of fine-grained
+// iterative combing (paper Listings 6 and 7).
+//
+//   hybrid_combing       - Listing 6: recursive splitting for `depth`
+//                          levels (OpenMP tasks), then the anti-diagonal
+//                          SIMD iterative comber per leaf; kernels are
+//                          composed by (parallel) steady-ant multiplication.
+//   hybrid_tiled_combing - Listing 7: the outer recursion is flattened into
+//                          an explicit m_outer x n_outer tile grid; tiles
+//                          are combed in parallel and reduced pairwise,
+//                          always merging along the currently longest side
+//                          of the subgrids so their aspect stays balanced.
+//   optimal_split        - the tile-count heuristic: enough tiles to feed
+//                          every thread, tiles kept small enough for 16-bit
+//                          strand indices when requested.
+#pragma once
+
+#include "braid/steady_ant.hpp"
+#include "core/iterative_combing.hpp"
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Configuration shared by both hybrid algorithms.
+struct HybridOptions {
+  /// Recursion depth before switching to iterative combing (Listing 6);
+  /// depth 0 is pure iterative combing.
+  int depth = 2;
+  /// Run recursion levels / tile combing as OpenMP tasks.
+  bool parallel = true;
+  /// Options for the leaf iterative comber.
+  CombOptions comb = {};
+  /// Options for the composition multiplies.
+  SteadyAntOptions ant = {.precalc = true, .preallocate = true};
+};
+
+/// Listing 6: recursion with a depth threshold.
+SemiLocalKernel hybrid_combing(SequenceView a, SequenceView b,
+                               const HybridOptions& opts = {});
+
+/// Listing 7: explicit tile grid + longest-axis pairwise reduction.
+/// m_outer/n_outer <= 0 selects them via optimal_split().
+SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b,
+                                     Index m_outer = 0, Index n_outer = 0,
+                                     const HybridOptions& opts = {});
+
+/// Tile-count heuristic: returns {m_outer, n_outer} such that the tile
+/// count is at least `threads` (rounded to the next power of two) and, when
+/// `want_16bit`, each tile's strand count m/m_outer + n/n_outer < 2^16.
+std::pair<Index, Index> optimal_split(Index m, Index n, int threads, bool want_16bit);
+
+}  // namespace semilocal

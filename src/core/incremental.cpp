@@ -1,0 +1,24 @@
+#include "core/incremental.hpp"
+
+namespace semilocal {
+
+IncrementalKernel::IncrementalKernel(SequenceView a, SequenceView b, SteadyAntOptions ant)
+    : a_(a.begin(), a.end()), b_(b.begin(), b.end()), ant_(ant) {
+  kernel_ = comb_antidiag(a_, b_, CombOptions{});
+}
+
+void IncrementalKernel::append_a(SequenceView chunk) {
+  if (chunk.empty()) return;
+  const SemiLocalKernel block = comb_antidiag(chunk, b_, CombOptions{});
+  kernel_ = compose_horizontal(kernel_, block, ant_);
+  a_.insert(a_.end(), chunk.begin(), chunk.end());
+}
+
+void IncrementalKernel::append_b(SequenceView chunk) {
+  if (chunk.empty()) return;
+  const SemiLocalKernel block = comb_antidiag(a_, chunk, CombOptions{});
+  kernel_ = compose_vertical(kernel_, block, ant_);
+  b_.insert(b_.end(), chunk.begin(), chunk.end());
+}
+
+}  // namespace semilocal

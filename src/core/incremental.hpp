@@ -1,0 +1,46 @@
+// Incremental semi-local kernel maintenance under string growth.
+//
+// The composition theorem (Theorem 3.4) makes the kernel updatable: when a
+// grows to a * a_new, the new kernel is
+//   P_{a a_new, b} = compose(P_{a, b}, P_{a_new, b}),
+// i.e. O(|a_new| * n) combing for the new block plus one O((m+n) log(m+n))
+// steady-ant multiplication -- far cheaper than recomputing the O(mn) grid
+// when the appended chunk is small. Appending to b works symmetrically via
+// the flip theorem.
+//
+// This turns the kernel into a streaming index: feed chunks as they arrive,
+// query any substring score at any time.
+#pragma once
+
+#include "braid/steady_ant.hpp"
+#include "core/iterative_combing.hpp"
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Maintains P_{a,b} while a and/or b grow by appended chunks.
+class IncrementalKernel {
+ public:
+  /// Starts from the given strings (either may be empty).
+  IncrementalKernel(SequenceView a, SequenceView b,
+                    SteadyAntOptions ant = {.precalc = true, .preallocate = true});
+
+  /// Appends a chunk to a (rows of the grid), updating the kernel.
+  void append_a(SequenceView chunk);
+
+  /// Appends a chunk to b (columns of the grid), updating the kernel.
+  void append_b(SequenceView chunk);
+
+  [[nodiscard]] const SemiLocalKernel& kernel() const { return kernel_; }
+  [[nodiscard]] const Sequence& a() const { return a_; }
+  [[nodiscard]] const Sequence& b() const { return b_; }
+
+ private:
+  Sequence a_;
+  Sequence b_;
+  SemiLocalKernel kernel_;
+  SteadyAntOptions ant_;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,57 @@
+// Iterative combing: direct computation of the semi-local kernel by one
+// sweep over the LCS grid (paper Listings 1 and 4).
+//
+// Variants match the paper's evaluation legend:
+//   semi_rowmajor       - comb_rowmajor: Listing 1, row-major cell order
+//   semi_antidiag       - comb_antidiag(branchless=false): anti-diagonal
+//                         order, branching inner loop
+//   semi_antidiag_SIMD  - comb_antidiag(branchless=true): the conditional
+//                         swap becomes the bitwise select of Section 4.1,
+//                         letting the loop auto-vectorize
+//   semi_load_balanced  - comb_load_balanced: the first and third phase are
+//                         combed together as two independent sub-braids of
+//                         constant combined diagonal length m, then stitched
+//                         with braid multiplication (Figure 2)
+//
+// When m + n < 2^16 and options allow, strand indices are stored in 16-bit
+// words, doubling the SIMD lane count (Section 4.1, last paragraph).
+#pragma once
+
+#include "braid/steady_ant.hpp"
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Knobs for the anti-diagonal combing family.
+struct CombOptions {
+  /// Replace the conditional swap by bitwise selects (the SIMD variant).
+  bool branchless = true;
+  /// Process each anti-diagonal with an OpenMP worksharing loop.
+  bool parallel = false;
+  /// Use 16-bit strand indices when m + n fits (ignored otherwise).
+  bool allow_16bit = true;
+  /// Use the min/max formulation of the branchless inner loop instead of
+  /// bitwise selects: h' = match ? v : min(h,v), v' = match ? h : max(h,v).
+  /// This is the paper's Section 6 observation that AVX-512 masked pairwise
+  /// min/max is "a perfect match to the logic of the inner loop"; on
+  /// AVX-512BW hardware it compiles to vpminu/vpmaxu + masked blends.
+  bool minmax = false;
+};
+
+/// Listing 1: row-major sequential combing.
+SemiLocalKernel comb_rowmajor(SequenceView a, SequenceView b);
+
+/// Listing 4: anti-diagonal combing in three phases.
+SemiLocalKernel comb_antidiag(SequenceView a, SequenceView b,
+                              const CombOptions& opts = {});
+
+/// Load-balanced variant: phases 1 and 3 are combed simultaneously as
+/// independent braids (m cells per iteration, half the synchronisations) and
+/// the three sub-braids are composed by steady-ant multiplication.
+SemiLocalKernel comb_load_balanced(SequenceView a, SequenceView b,
+                                   const CombOptions& opts = {},
+                                   const SteadyAntOptions& ant = {.precalc = true,
+                                                                  .preallocate = true});
+
+}  // namespace semilocal

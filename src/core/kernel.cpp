@@ -1,0 +1,121 @@
+#include "core/kernel.hpp"
+
+#include <stdexcept>
+
+namespace semilocal {
+
+SemiLocalKernel::SemiLocalKernel(Permutation kernel, Index m, Index n)
+    : kernel_(std::move(kernel)), m_(m), n_(n) {
+  if (m < 0 || n < 0) throw std::invalid_argument("SemiLocalKernel: negative lengths");
+  if (kernel_.size() != m + n) {
+    throw std::invalid_argument("SemiLocalKernel: kernel order must be m + n");
+  }
+}
+
+Index SemiLocalKernel::sigma(Index i, Index j) const {
+  if (dense_) return dense_->count(i, j);
+  if (wavelet_) return wavelet_->count(i, j);
+  if (!tree_) tree_ = std::make_unique<MergesortTree>(kernel_);
+  return tree_->count(i, j);
+}
+
+Index SemiLocalKernel::h(Index i, Index j) const {
+  if (i < 0 || j < 0 || i > order() || j > order()) {
+    throw std::out_of_range("SemiLocalKernel::h: index outside [0, m+n]");
+  }
+  return j - i + m_ - sigma(i, j);
+}
+
+Index SemiLocalKernel::string_substring(Index j0, Index j1) const {
+  if (j0 < 0 || j1 < j0 || j1 > n_) {
+    throw std::out_of_range("string_substring: need 0 <= j0 <= j1 <= n");
+  }
+  // Window b[j0, j1) sits at H(m + j0, j1): no padding involved.
+  return h(m_ + j0, j1);
+}
+
+Index SemiLocalKernel::substring_string(Index i0, Index i1) const {
+  if (i0 < 0 || i1 < i0 || i1 > m_) {
+    throw std::out_of_range("substring_string: need 0 <= i0 <= i1 <= m");
+  }
+  // Window ?^{i0} b ?^{m-i1}: each wildcard contributes one free match
+  // against the clipped ends of a.
+  return h(m_ - i0, n_ + (m_ - i1)) - i0 - (m_ - i1);
+}
+
+Index SemiLocalKernel::prefix_suffix(Index k, Index l) const {
+  if (k < 0 || k > m_ || l < 0 || l > n_) {
+    throw std::out_of_range("prefix_suffix: need k in [0,m], l in [0,n]");
+  }
+  // LCS(a[0,k), b[l,n)) via window b[l,n) ?^{m-k}.
+  return h(m_ + l, n_ + (m_ - k)) - (m_ - k);
+}
+
+Index SemiLocalKernel::suffix_prefix(Index s, Index j) const {
+  if (s < 0 || s > m_ || j < 0 || j > n_) {
+    throw std::out_of_range("suffix_prefix: need s in [0,m], j in [0,n]");
+  }
+  // LCS(a[s,m), b[0,j)) via window ?^{s} b[0,j).
+  return h(m_ - s, j) - s;
+}
+
+void SemiLocalKernel::enable_dense_queries() {
+  if (!dense_) dense_ = std::make_unique<DensePrefixOracle>(kernel_);
+}
+
+void SemiLocalKernel::enable_wavelet_queries() {
+  if (!wavelet_) wavelet_ = std::make_unique<WaveletTree>(kernel_);
+}
+
+DenseMatrix SemiLocalKernel::to_h_matrix() const {
+  const DenseMatrix sigma_m = distribution_matrix(kernel_);
+  DenseMatrix h(order() + 1, order() + 1, 0);
+  for (Index i = 0; i <= order(); ++i) {
+    for (Index j = 0; j <= order(); ++j) {
+      h.at(i, j) = j - i + m_ - sigma_m.at(i, j);
+    }
+  }
+  return h;
+}
+
+SemiLocalKernel SemiLocalKernel::flipped() const {
+  return SemiLocalKernel(kernel_.rotate180(), n_, m_);
+}
+
+Permutation prepend_identity(const Permutation& p, Index k) {
+  Permutation out(p.size() + k);
+  for (Index i = 0; i < k; ++i) out.set(i, i);
+  for (const auto& [r, c] : p.nonzeros()) out.set(k + r, k + c);
+  return out;
+}
+
+Permutation append_identity(const Permutation& p, Index k) {
+  Permutation out(p.size() + k);
+  for (const auto& [r, c] : p.nonzeros()) out.set(r, c);
+  for (Index i = 0; i < k; ++i) out.set(p.size() + i, p.size() + i);
+  return out;
+}
+
+SemiLocalKernel compose_horizontal(const SemiLocalKernel& first,
+                                   const SemiLocalKernel& second,
+                                   const SteadyAntOptions& opts) {
+  if (first.n() != second.n()) {
+    throw std::invalid_argument("compose_horizontal: kernels must share b");
+  }
+  const Index m1 = first.m();
+  const Index m2 = second.m();
+  const Permutation x = prepend_identity(first.permutation(), m2);
+  const Permutation y = append_identity(second.permutation(), m1);
+  return SemiLocalKernel(multiply(x, y, opts), m1 + m2, first.n());
+}
+
+SemiLocalKernel compose_vertical(const SemiLocalKernel& first,
+                                 const SemiLocalKernel& second,
+                                 const SteadyAntOptions& opts) {
+  if (first.m() != second.m()) {
+    throw std::invalid_argument("compose_vertical: kernels must share a");
+  }
+  return compose_horizontal(first.flipped(), second.flipped(), opts).flipped();
+}
+
+}  // namespace semilocal

@@ -1,0 +1,59 @@
+#include "core/recursive_combing.hpp"
+
+namespace semilocal {
+namespace {
+
+SemiLocalKernel base_case(Symbol x, Symbol y) {
+  // Match: the strands never cross -> identity kernel. Mismatch: one
+  // crossing -> the "zero kernel" (the order-2 reversal).
+  if (x == y) return SemiLocalKernel(Permutation::identity(2), 1, 1);
+  return SemiLocalKernel(Permutation::reversal(2), 1, 1);
+}
+
+SemiLocalKernel combing_rec(SequenceView a, SequenceView b, const SteadyAntOptions& ant,
+                            int depth) {
+  if (a.size() == 1 && b.size() == 1) return base_case(a[0], b[0]);
+  const bool split_b = a.size() < b.size();
+  const SequenceView outer = split_b ? b : a;
+  const SequenceView inner = split_b ? a : b;
+  const std::size_t half = outer.size() / 2;
+  const SequenceView left = outer.subspan(0, half);
+  const SequenceView right = outer.subspan(half);
+  SemiLocalKernel l;
+  SemiLocalKernel r;
+  if (depth > 0) {
+#pragma omp task default(none) shared(l, left, inner, ant) firstprivate(depth)
+    l = combing_rec(left, inner, ant, depth - 1);
+#pragma omp task default(none) shared(r, right, inner, ant) firstprivate(depth)
+    r = combing_rec(right, inner, ant, depth - 1);
+#pragma omp taskwait
+  } else {
+    l = combing_rec(left, inner, ant, 0);
+    r = combing_rec(right, inner, ant, 0);
+  }
+  const SemiLocalKernel composed = compose_horizontal(l, r, ant);
+  return split_b ? composed.flipped() : composed;
+}
+
+}  // namespace
+
+SemiLocalKernel recursive_combing(SequenceView a, SequenceView b,
+                                  const SteadyAntOptions& ant, int parallel_depth) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0 || n == 0) {
+    return SemiLocalKernel(Permutation::identity(m + n), m, n);
+  }
+  if (parallel_depth > 0) {
+    SemiLocalKernel result;
+#pragma omp parallel default(none) shared(result, a, b, ant, parallel_depth)
+    {
+#pragma omp single
+      result = combing_rec(a, b, ant, parallel_depth);
+    }
+    return result;
+  }
+  return combing_rec(a, b, ant, 0);
+}
+
+}  // namespace semilocal

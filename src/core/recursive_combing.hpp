@@ -1,0 +1,24 @@
+// Recursive combing (paper Listing 3): divide-and-conquer to single
+// characters, composing kernels with steady-ant braid multiplication.
+//
+// The recursion splits the longer string; when b is split the subproblems
+// are solved for the swapped pair and the composed kernel P_{b,a} is flipped
+// back to P_{a,b} via Theorem 3.5. Coarse-grained parallelism (Section
+// 4.2.2) spawns OpenMP tasks for the two subproblems in the top
+// `parallel_depth` recursion levels.
+#pragma once
+
+#include "braid/steady_ant.hpp"
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Fully recursive combing. `ant` configures the composition multiplies;
+/// `parallel_depth` > 0 runs the top recursion levels as OpenMP tasks.
+SemiLocalKernel recursive_combing(SequenceView a, SequenceView b,
+                                  const SteadyAntOptions& ant = {.precalc = true,
+                                                                 .preallocate = true},
+                                  int parallel_depth = 0);
+
+}  // namespace semilocal

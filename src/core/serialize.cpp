@@ -1,0 +1,80 @@
+#include "core/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace semilocal {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'S', 'L', 'K', 'E', 'R', 'N', 'L', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_kernel: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void save_kernel(std::ostream& out, const SemiLocalKernel& kernel) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::int64_t>(kernel.m()));
+  write_pod(out, static_cast<std::int64_t>(kernel.n()));
+  const auto& row_to_col = kernel.permutation().row_to_col();
+  out.write(reinterpret_cast<const char*>(row_to_col.data()),
+            static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
+  if (!out) throw std::runtime_error("save_kernel: write failed");
+}
+
+SemiLocalKernel load_kernel(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw std::runtime_error("load_kernel: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_kernel: unsupported version " + std::to_string(version));
+  }
+  const auto m = read_pod<std::int64_t>(in);
+  const auto n = read_pod<std::int64_t>(in);
+  if (m < 0 || n < 0 || m + n > (std::int64_t{1} << 31)) {
+    throw std::runtime_error("load_kernel: implausible dimensions");
+  }
+  std::vector<std::int32_t> row_to_col(static_cast<std::size_t>(m + n));
+  in.read(reinterpret_cast<char*>(row_to_col.data()),
+          static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
+  if (!in) throw std::runtime_error("load_kernel: truncated permutation data");
+  Permutation perm;
+  try {
+    perm = Permutation::from_row_to_col(std::move(row_to_col));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_kernel: corrupt permutation: ") + e.what());
+  }
+  return SemiLocalKernel(std::move(perm), m, n);
+}
+
+void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_kernel_file: cannot open " + path);
+  save_kernel(out, kernel);
+}
+
+SemiLocalKernel load_kernel_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_kernel_file: cannot open " + path);
+  return load_kernel(in);
+}
+
+}  // namespace semilocal

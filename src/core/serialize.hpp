@@ -1,0 +1,29 @@
+// Binary serialization of semi-local kernels.
+//
+// A kernel is tiny relative to the O(mn) work that produced it (2(m+n)
+// 32-bit entries), which makes precomputing kernels for a corpus and
+// answering substring queries later a natural workflow. The format is a
+// fixed little-endian header (magic, version, m, n) followed by the
+// row->col array; readers validate structure and permutation-ness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/kernel.hpp"
+
+namespace semilocal {
+
+/// Writes `kernel` to a binary stream. Throws std::runtime_error on I/O
+/// failure.
+void save_kernel(std::ostream& out, const SemiLocalKernel& kernel);
+
+/// Reads a kernel written by save_kernel. Throws std::runtime_error on I/O
+/// failure, bad magic/version, or corrupted permutation data.
+SemiLocalKernel load_kernel(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel);
+SemiLocalKernel load_kernel_file(const std::string& path);
+
+}  // namespace semilocal

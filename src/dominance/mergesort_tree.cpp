@@ -1,0 +1,54 @@
+#include "dominance/mergesort_tree.hpp"
+
+#include <algorithm>
+
+namespace semilocal {
+
+MergesortTree::MergesortTree(const Permutation& p) : n_(p.size()) {
+  leaves_ = 1;
+  while (leaves_ < std::max<Index>(n_, 1)) leaves_ *= 2;
+  nodes_.assign(static_cast<std::size_t>(2 * leaves_), {});
+  for (Index r = 0; r < n_; ++r) {
+    const auto c = p.col_of(r);
+    if (c != Permutation::kNone) {
+      nodes_[static_cast<std::size_t>(leaves_ + r)].push_back(c);
+    }
+  }
+  for (Index node = leaves_ - 1; node >= 1; --node) {
+    const auto& left = nodes_[static_cast<std::size_t>(2 * node)];
+    const auto& right = nodes_[static_cast<std::size_t>(2 * node + 1)];
+    auto& merged = nodes_[static_cast<std::size_t>(node)];
+    merged.resize(left.size() + right.size());
+    std::merge(left.begin(), left.end(), right.begin(), right.end(), merged.begin());
+  }
+}
+
+Index MergesortTree::count(Index i, Index j) const {
+  // Count cols < j among rows in [i, n_): decompose [i, leaves_) into
+  // O(log n) canonical nodes (rows >= n_ hold no values).
+  if (n_ == 0 || i >= n_ || j <= 0) return 0;
+  Index lo = leaves_ + std::max<Index>(i, 0);
+  Index hi = 2 * leaves_;  // exclusive
+  Index total = 0;
+  const auto count_in = [&](Index node) {
+    const auto& vals = nodes_[static_cast<std::size_t>(node)];
+    total += static_cast<Index>(
+        std::lower_bound(vals.begin(), vals.end(), static_cast<std::int32_t>(j)) -
+        vals.begin());
+  };
+  while (lo < hi) {
+    if (lo & 1) count_in(lo++);
+    if (hi & 1) count_in(--hi);
+    lo /= 2;
+    hi /= 2;
+  }
+  return total;
+}
+
+std::size_t MergesortTree::stored_elements() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node.size();
+  return total;
+}
+
+}  // namespace semilocal

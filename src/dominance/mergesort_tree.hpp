@@ -1,0 +1,36 @@
+// Merge-sort tree: dominance counting in O(log^2 n) with O(n log n) memory.
+//
+// This is one of the classical range-counting structures referenced by the
+// paper (footnote 1) for querying the implicit semi-local LCS matrix: the
+// kernel permutation is stored once, and each H(i, j) element is recovered
+// with a logarithmic-cost dominance count instead of a precomputed table.
+#pragma once
+
+#include <vector>
+
+#include "braid/permutation.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Static 2D dominance counter over the nonzeros of a permutation.
+class MergesortTree {
+ public:
+  explicit MergesortTree(const Permutation& p);
+
+  /// sigma(i, j) = |{(r, c) nonzero : r >= i, c < j}| in O(log^2 n).
+  [[nodiscard]] Index count(Index i, Index j) const;
+
+  [[nodiscard]] Index size() const { return n_; }
+
+  /// Total elements stored across all tree levels (n * ceil(log2 n) + n),
+  /// exposed so tests can check the memory bound.
+  [[nodiscard]] std::size_t stored_elements() const;
+
+ private:
+  Index n_ = 0;
+  Index leaves_ = 0;                           // padded to a power of two
+  std::vector<std::vector<std::int32_t>> nodes_;  // 1-based heap layout
+};
+
+}  // namespace semilocal

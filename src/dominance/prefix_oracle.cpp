@@ -1,0 +1,18 @@
+#include "dominance/prefix_oracle.hpp"
+
+namespace semilocal {
+
+DensePrefixOracle::DensePrefixOracle(const Permutation& p) : n_(p.size()) {
+  table_.assign(static_cast<std::size_t>((n_ + 1) * (n_ + 1)), 0);
+  const auto at = [&](Index i, Index j) -> Index& {
+    return table_[static_cast<std::size_t>(i * (n_ + 1) + j)];
+  };
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const auto c = p.col_of(i);
+    for (Index j = 0; j <= n_; ++j) {
+      at(i, j) = at(i + 1, j) + ((c != Permutation::kNone && c < j) ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace semilocal

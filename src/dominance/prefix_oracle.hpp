@@ -1,0 +1,35 @@
+// Dense dominance-count oracle: O(n^2) memory, O(1) queries.
+//
+// Materializes the full distribution matrix of a permutation so that
+// sigma(i, j) = |{(r, c) : r >= i, c < j}| is a table lookup. The paper
+// notes that the semi-local kernel gives linear-memory storage at the price
+// of polylogarithmic element access; this oracle is the opposite corner of
+// that tradeoff, used for small kernels and as the ground truth for the
+// logarithmic structure in mergesort_tree.hpp.
+#pragma once
+
+#include <vector>
+
+#include "braid/permutation.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// O(1) dominance counting over a fixed permutation.
+class DensePrefixOracle {
+ public:
+  explicit DensePrefixOracle(const Permutation& p);
+
+  /// sigma(i, j) with i, j in [0, n].
+  [[nodiscard]] Index count(Index i, Index j) const {
+    return table_[static_cast<std::size_t>(i * (n_ + 1) + j)];
+  }
+
+  [[nodiscard]] Index size() const { return n_; }
+
+ private:
+  Index n_ = 0;
+  std::vector<Index> table_;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,91 @@
+#include "dominance/wavelet_tree.hpp"
+
+#include <algorithm>
+
+namespace semilocal {
+
+RankBitvector::RankBitvector(Index bits)
+    : size_(bits),
+      bits_(static_cast<std::size_t>(ceil_div(std::max<Index>(bits, 1), kWordBits)), 0),
+      ranks_(bits_.size() + 1, 0) {}
+
+void RankBitvector::finalize() {
+  Index running = 0;
+  for (std::size_t w = 0; w < bits_.size(); ++w) {
+    ranks_[w] = running;
+    running += popcount(bits_[w]);
+  }
+  ranks_[bits_.size()] = running;
+}
+
+WaveletTree::WaveletTree(const Permutation& p) : n_(p.size()) {
+  levels_ = 0;
+  while ((Index{1} << levels_) < std::max<Index>(n_, 1)) ++levels_;
+  if (n_ == 0) return;
+  level_bits_.reserve(static_cast<std::size_t>(levels_));
+  level_zeros_.resize(static_cast<std::size_t>(levels_), 0);
+  // Values in original position order; stably partitioned level by level.
+  std::vector<std::int32_t> cur(p.row_to_col());
+  std::vector<std::int32_t> next(cur.size());
+  for (int level = 0; level < levels_; ++level) {
+    const int bit_index = levels_ - 1 - level;  // MSB first
+    RankBitvector bv(n_);
+    Index zeros = 0;
+    for (Index pos = 0; pos < n_; ++pos) {
+      const bool bit = (cur[static_cast<std::size_t>(pos)] >> bit_index) & 1;
+      if (bit) {
+        bv.set(pos);
+      } else {
+        ++zeros;
+      }
+    }
+    bv.finalize();
+    // Stable partition for the next level: zeros first, then ones.
+    Index zero_cursor = 0;
+    Index one_cursor = zeros;
+    for (Index pos = 0; pos < n_; ++pos) {
+      const auto value = cur[static_cast<std::size_t>(pos)];
+      if ((value >> bit_index) & 1) {
+        next[static_cast<std::size_t>(one_cursor++)] = value;
+      } else {
+        next[static_cast<std::size_t>(zero_cursor++)] = value;
+      }
+    }
+    level_zeros_[static_cast<std::size_t>(level)] = zeros;
+    level_bits_.push_back(std::move(bv));
+    std::swap(cur, next);
+  }
+}
+
+Index WaveletTree::count_less(Index lo, Index hi, Index j) const {
+  if (j <= 0 || lo >= hi) return 0;
+  if (j >= n_) return hi - lo;
+  Index count = 0;
+  for (int level = 0; level < levels_ && lo < hi; ++level) {
+    const int bit_index = levels_ - 1 - level;
+    const auto& bv = level_bits_[static_cast<std::size_t>(level)];
+    const Index zeros = level_zeros_[static_cast<std::size_t>(level)];
+    const Index lo1 = bv.rank1(lo);
+    const Index hi1 = bv.rank1(hi);
+    if ((j >> bit_index) & 1) {
+      // Everything in the 0-subtree is < j; continue into the 1-subtree.
+      count += (hi - hi1) - (lo - lo1);
+      lo = zeros + lo1;
+      hi = zeros + hi1;
+    } else {
+      // Continue into the 0-subtree.
+      lo = lo - lo1;
+      hi = hi - hi1;
+    }
+  }
+  return count;
+}
+
+Index WaveletTree::count(Index i, Index j) const {
+  if (n_ == 0) return 0;
+  const Index lo = std::clamp<Index>(i, 0, n_);
+  const Index jj = std::clamp<Index>(j, 0, n_);
+  return count_less(lo, n_, jj);
+}
+
+}  // namespace semilocal

@@ -1,0 +1,22 @@
+// Prefix-computation LCS in the style of Aluru, Futamura and Mehrotra
+// (2003): instead of walking anti-diagonals, iterate the grid in rows and
+// break the serial in-row dependency with a parallel prefix.
+//
+// Rewriting the classical recurrence with
+//   X(i, j) = max(L(i-1, j), L(i-1, j-1) + match(i, j))
+// gives L(i, j) = max(X(i, j), L(i, j-1)), i.e. row i of L is the inclusive
+// prefix-maximum of row i of X. Each row update is then two data-parallel
+// passes: an elementwise X computation and a scan -- the pattern the paper
+// contrasts with its own anti-diagonal processing (Section 2).
+#pragma once
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// LCS score via row-wise prefix-max computation. With `parallel`, the X
+/// pass is an OpenMP simd-for and the scan uses the OpenMP `inscan`
+/// reduction; otherwise both passes are sequential (still branch-free).
+Index lcs_prefix_scan(SequenceView a, SequenceView b, bool parallel = false);
+
+}  // namespace semilocal

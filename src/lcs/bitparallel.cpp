@@ -1,0 +1,84 @@
+#include "lcs/bitparallel.hpp"
+
+#include <algorithm>
+
+namespace semilocal {
+
+MatchMasks::MatchMasks(SequenceView a)
+    : length_(static_cast<Index>(a.size())),
+      words_(std::max<Index>(1, ceil_div(static_cast<Index>(a.size()), kWordBits))) {
+  zero_.assign(static_cast<std::size_t>(words_), 0);
+  symbols_.assign(a.begin(), a.end());
+  std::sort(symbols_.begin(), symbols_.end());
+  symbols_.erase(std::unique(symbols_.begin(), symbols_.end()), symbols_.end());
+  storage_.assign(symbols_.size() * static_cast<std::size_t>(words_), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto it = std::lower_bound(symbols_.begin(), symbols_.end(), a[i]);
+    const std::size_t sym = static_cast<std::size_t>(it - symbols_.begin());
+    storage_[sym * static_cast<std::size_t>(words_) + i / kWordBits] |=
+        Word{1} << (i % kWordBits);
+  }
+}
+
+const Word* MatchMasks::mask(Symbol c) const {
+  const auto it = std::lower_bound(symbols_.begin(), symbols_.end(), c);
+  if (it == symbols_.end() || *it != c) return zero_.data();
+  const std::size_t sym = static_cast<std::size_t>(it - symbols_.begin());
+  return storage_.data() + sym * static_cast<std::size_t>(words_);
+}
+
+namespace {
+
+enum class Update { kCrochemore, kHyyro };
+
+template <Update Kind>
+Index bitparallel_impl(SequenceView a, SequenceView b) {
+  const Index m = static_cast<Index>(a.size());
+  if (m == 0 || b.empty()) return 0;
+  const MatchMasks masks(a);
+  const Index words = masks.words();
+  // V starts all-ones; a zero bit at position i will mean "some strand got
+  // stuck at a[i]", i.e. one more LCS symbol.
+  std::vector<Word> v(static_cast<std::size_t>(words), ~Word{0});
+  for (const Symbol c : b) {
+    const Word* mask = masks.mask(c);
+    Word carry = 0;
+    for (Index w = 0; w < words; ++w) {
+      const Word vw = v[static_cast<std::size_t>(w)];
+      const Word u = vw & mask[w];
+      // Multi-word addition vw + u + carry with explicit carry-out: this
+      // inter-word dependency serializes the tile update.
+      const Word sum = vw + u;
+      const Word sum_c = sum + carry;
+      const Word carry_out = static_cast<Word>((sum < vw) | (sum_c < sum));
+      Word rest;
+      if constexpr (Kind == Update::kCrochemore) {
+        rest = vw & ~mask[w];
+      } else {
+        rest = vw - u;  // u is bitwise contained in vw: no inter-word borrow
+      }
+      v[static_cast<std::size_t>(w)] = sum_c | rest;
+      carry = carry_out;
+    }
+  }
+  // Count zero bits among the low m positions.
+  Index zeros = 0;
+  for (Index w = 0; w < words; ++w) {
+    const Index bits_here = std::min<Index>(kWordBits, m - w * kWordBits);
+    const Word live = v[static_cast<std::size_t>(w)] & low_mask(static_cast<int>(bits_here));
+    zeros += bits_here - popcount(live);
+  }
+  return zeros;
+}
+
+}  // namespace
+
+Index lcs_bitparallel_crochemore(SequenceView a, SequenceView b) {
+  return bitparallel_impl<Update::kCrochemore>(a, b);
+}
+
+Index lcs_bitparallel_hyyro(SequenceView a, SequenceView b) {
+  return bitparallel_impl<Update::kHyyro>(a, b);
+}
+
+}  // namespace semilocal

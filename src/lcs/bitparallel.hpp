@@ -1,0 +1,44 @@
+// Classical bit-parallel LCS baselines: Crochemore et al. (2001) and Hyyro
+// (2004). Both iterate over the grid in vertical tiles of word-width w and
+// use integer addition to propagate a "strand" as a carry across the tile --
+// exactly the carry-propagation approach the paper's novel bit-parallel
+// combing algorithm (bitlcs/) is designed to avoid.
+//
+// Both work for arbitrary alphabets (match masks are built per distinct
+// symbol); time O(mn / w) after O(m * distinct symbols / w) preprocessing.
+#pragma once
+
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Per-symbol match masks over string a: bit i of mask(c) is set iff
+/// a[i] == c. Shared preprocessing of the bit-parallel baselines.
+class MatchMasks {
+ public:
+  explicit MatchMasks(SequenceView a);
+
+  /// Mask words for symbol `c` (all-zero mask if c never occurs in a).
+  [[nodiscard]] const Word* mask(Symbol c) const;
+
+  [[nodiscard]] Index words() const { return words_; }
+  [[nodiscard]] Index length() const { return length_; }
+
+ private:
+  Index length_ = 0;
+  Index words_ = 0;
+  std::vector<Word> zero_;
+  std::vector<Symbol> symbols_;       // sorted distinct symbols
+  std::vector<Word> storage_;         // masks, one block of `words_` per symbol
+};
+
+/// LCS score, Crochemore et al. update: V = (V + (V & M)) | (V & ~M).
+Index lcs_bitparallel_crochemore(SequenceView a, SequenceView b);
+
+/// LCS score, Hyyro's update: u = V & M; V = (V + u) | (V - u).
+Index lcs_bitparallel_hyyro(SequenceView a, SequenceView b);
+
+}  // namespace semilocal

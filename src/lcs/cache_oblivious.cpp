@@ -1,0 +1,100 @@
+#include "lcs/cache_oblivious.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace semilocal {
+namespace {
+
+// Computes the block of L covering rows (i0, i1] x cols (j0, j1] of the
+// prefix-score table L[i][j] = LCS(a[0,i), b[0,j)).
+//
+// On entry: top[t] = L[i0][j0 + t] for t in [0, width] and
+//           left[s] = L[i0 + s][j0] for s in [0, height]
+// (top[0] == left[0] is the shared corner). On exit the same buffers hold
+// the block's bottom row and right column:
+//           top[t] = L[i1][j0 + t],  left[s] = L[i0 + s][j1].
+void solve_block(SequenceView a, SequenceView b, Index i0, Index i1, Index j0, Index j1,
+                 std::vector<Index>& top, std::vector<Index>& left, Index base_block) {
+  const Index height = i1 - i0;
+  const Index width = j1 - j0;
+  // base_block >= 1 guarantees the recursion never produces an empty block
+  // (callers check m, n > 0).
+  if (height <= base_block || width <= base_block) {
+    // Base: plain DP over the block with one rolling row.
+    std::vector<Index> row(top.begin(), top.end());  // L[i0][j0..j1]
+    std::vector<Index> right(static_cast<std::size_t>(height) + 1);
+    right[0] = row[static_cast<std::size_t>(width)];
+    for (Index s = 1; s <= height; ++s) {
+      Index diag = row[0];                         // L[i0+s-1][j0]
+      row[0] = left[static_cast<std::size_t>(s)];  // L[i0+s][j0]
+      const Symbol x = a[static_cast<std::size_t>(i0 + s - 1)];
+      for (Index t = 1; t <= width; ++t) {
+        const Index up = row[static_cast<std::size_t>(t)];
+        const Index match = (x == b[static_cast<std::size_t>(j0 + t - 1)]) ? 1 : 0;
+        const Index value = std::max({up, row[static_cast<std::size_t>(t - 1)], diag + match});
+        diag = up;
+        row[static_cast<std::size_t>(t)] = value;
+      }
+      right[static_cast<std::size_t>(s)] = row[static_cast<std::size_t>(width)];
+    }
+    top = std::move(row);
+    left = std::move(right);
+    return;
+  }
+  // Recurse on quadrants: TL -> (TR, BL) -> BR.
+  const Index im = i0 + height / 2;
+  const Index jm = j0 + width / 2;
+  const Index hw = jm - j0;  // half width
+
+  // Boundary slices for the top-left quadrant.
+  std::vector<Index> tl_top(top.begin(), top.begin() + hw + 1);
+  std::vector<Index> tl_left(left.begin(), left.begin() + (im - i0) + 1);
+  solve_block(a, b, i0, im, j0, jm, tl_top, tl_left, base_block);
+  // tl_top = L[im][j0..jm], tl_left = L[i0..im][jm].
+
+  // Top-right quadrant: top = original top[hw..], left = tl_left.
+  std::vector<Index> tr_top(top.begin() + hw, top.end());
+  std::vector<Index> tr_left(tl_left);
+  solve_block(a, b, i0, im, jm, j1, tr_top, tr_left, base_block);
+  // tr_top = L[im][jm..j1], tr_left = L[i0..im][j1].
+
+  // Bottom-left quadrant: top = tl_top, left = original left[im-i0..].
+  std::vector<Index> bl_top(tl_top);
+  std::vector<Index> bl_left(left.begin() + (im - i0), left.end());
+  solve_block(a, b, im, i1, j0, jm, bl_top, bl_left, base_block);
+  // bl_top = L[i1][j0..jm], bl_left = L[im..i1][jm].
+
+  // Bottom-right quadrant: top = tr_top with corner from bl_left, left = bl_left.
+  std::vector<Index> br_top(tr_top);
+  br_top[0] = bl_left[0];  // L[im][jm] -- identical value, keep explicit
+  std::vector<Index> br_left(bl_left);
+  solve_block(a, b, im, i1, jm, j1, br_top, br_left, base_block);
+  // br_top = L[i1][jm..j1], br_left = L[im..i1][j1].
+
+  // Assemble outputs.
+  std::vector<Index> out_bottom(static_cast<std::size_t>(width) + 1);
+  std::copy(bl_top.begin(), bl_top.end(), out_bottom.begin());
+  std::copy(br_top.begin(), br_top.end(), out_bottom.begin() + hw);
+  std::vector<Index> out_right(static_cast<std::size_t>(height) + 1);
+  std::copy(tr_left.begin(), tr_left.end(), out_right.begin());
+  std::copy(br_left.begin(), br_left.end(), out_right.begin() + (im - i0));
+  top = std::move(out_bottom);
+  left = std::move(out_right);
+}
+
+}  // namespace
+
+Index lcs_cache_oblivious(SequenceView a, SequenceView b, Index base_block) {
+  if (base_block <= 0) throw std::invalid_argument("lcs_cache_oblivious: base_block must be positive");
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0 || n == 0) return 0;
+  std::vector<Index> top(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> left(static_cast<std::size_t>(m) + 1, 0);
+  solve_block(a, b, 0, m, 0, n, top, left, base_block);
+  return top[static_cast<std::size_t>(n)];
+}
+
+}  // namespace semilocal

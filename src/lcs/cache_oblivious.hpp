@@ -1,0 +1,20 @@
+// Cache-oblivious LCS score in the style of Chowdhury and Ramachandran
+// (2006), the cache-efficiency counterpart the paper's related-work section
+// contrasts with parallel processing orders.
+//
+// The score table is evaluated by recursive 2x2 quadrant decomposition:
+// each block consumes its top and left boundary rows of scores and produces
+// its bottom and right boundaries, so every level of the recursion works on
+// O(sqrt(M)) x O(sqrt(M)) sub-blocks that fit whatever cache exists --
+// without knowing its size.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// LCS score by cache-oblivious recursive blocking. `base_block` is the
+/// side length below which plain row-major DP runs (tunable for tests).
+Index lcs_cache_oblivious(SequenceView a, SequenceView b, Index base_block = 64);
+
+}  // namespace semilocal

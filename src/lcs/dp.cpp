@@ -1,0 +1,77 @@
+#include "lcs/dp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace semilocal {
+
+Index lcs_score_dp(SequenceView a, SequenceView b) {
+  if (a.size() > b.size()) std::swap(a, b);  // keep the rolling row short
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0) return 0;
+  std::vector<Index> prev(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> cur(static_cast<std::size_t>(m) + 1, 0);
+  for (Index j = 1; j <= n; ++j) {
+    const Symbol y = b[static_cast<std::size_t>(j - 1)];
+    for (Index i = 1; i <= m; ++i) {
+      if (a[static_cast<std::size_t>(i - 1)] == y) {
+        cur[static_cast<std::size_t>(i)] = prev[static_cast<std::size_t>(i - 1)] + 1;
+      } else {
+        cur[static_cast<std::size_t>(i)] = std::max(prev[static_cast<std::size_t>(i)],
+                                                    cur[static_cast<std::size_t>(i - 1)]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<std::size_t>(m)];
+}
+
+LcsResult lcs_with_traceback(SequenceView a, SequenceView b) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  std::vector<Index> table(static_cast<std::size_t>((m + 1) * (n + 1)), 0);
+  const auto at = [&](Index i, Index j) -> Index& {
+    return table[static_cast<std::size_t>(i * (n + 1) + j)];
+  };
+  for (Index i = 1; i <= m; ++i) {
+    for (Index j = 1; j <= n; ++j) {
+      if (a[static_cast<std::size_t>(i - 1)] == b[static_cast<std::size_t>(j - 1)]) {
+        at(i, j) = at(i - 1, j - 1) + 1;
+      } else {
+        at(i, j) = std::max(at(i - 1, j), at(i, j - 1));
+      }
+    }
+  }
+  LcsResult result;
+  result.score = at(m, n);
+  result.subsequence.reserve(static_cast<std::size_t>(result.score));
+  Index i = m;
+  Index j = n;
+  while (i > 0 && j > 0) {
+    if (a[static_cast<std::size_t>(i - 1)] == b[static_cast<std::size_t>(j - 1)]) {
+      result.subsequence.push_back(a[static_cast<std::size_t>(i - 1)]);
+      --i;
+      --j;
+    } else if (at(i - 1, j) >= at(i, j - 1)) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(result.subsequence.begin(), result.subsequence.end());
+  return result;
+}
+
+bool is_common_subsequence(SequenceView candidate, SequenceView a, SequenceView b) {
+  const auto embeds = [](SequenceView needle, SequenceView hay) {
+    std::size_t i = 0;
+    for (const Symbol s : hay) {
+      if (i < needle.size() && needle[i] == s) ++i;
+    }
+    return i == needle.size();
+  };
+  return embeds(candidate, a) && embeds(candidate, b);
+}
+
+}  // namespace semilocal

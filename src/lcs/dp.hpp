@@ -1,0 +1,28 @@
+// Classical quadratic-memory LCS dynamic programming (Wagner-Fischer), with
+// traceback. The reference baseline every other LCS algorithm in the library
+// is checked against, and the provider of actual subsequences for examples.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// LCS score and one optimal common subsequence.
+struct LcsResult {
+  Index score = 0;
+  Sequence subsequence;
+};
+
+/// LCS score only, full O(mn) table free: O(min(m,n)) memory, O(mn) time.
+Index lcs_score_dp(SequenceView a, SequenceView b);
+
+/// LCS score plus a witness subsequence via full-table traceback. O(mn)
+/// memory; intended for moderate sizes (the linear-space alternative is
+/// lcs_hirschberg in hirschberg.hpp).
+LcsResult lcs_with_traceback(SequenceView a, SequenceView b);
+
+/// Verifies that `candidate` is a common subsequence of both inputs
+/// (utility shared by tests and examples).
+bool is_common_subsequence(SequenceView candidate, SequenceView a, SequenceView b);
+
+}  // namespace semilocal

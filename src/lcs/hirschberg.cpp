@@ -1,0 +1,75 @@
+#include "lcs/hirschberg.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace semilocal {
+namespace {
+
+// Last row of the LCS score table for a vs b (forward direction).
+std::vector<Index> score_row(SequenceView a, SequenceView b) {
+  const Index n = static_cast<Index>(b.size());
+  std::vector<Index> prev(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> cur(static_cast<std::size_t>(n) + 1, 0);
+  for (const Symbol x : a) {
+    for (Index j = 1; j <= n; ++j) {
+      if (x == b[static_cast<std::size_t>(j - 1)]) {
+        cur[static_cast<std::size_t>(j)] = prev[static_cast<std::size_t>(j - 1)] + 1;
+      } else {
+        cur[static_cast<std::size_t>(j)] = std::max(prev[static_cast<std::size_t>(j)],
+                                                    cur[static_cast<std::size_t>(j - 1)]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+std::vector<Index> score_row_reversed(SequenceView a, SequenceView b) {
+  const Sequence ra(a.rbegin(), a.rend());
+  const Sequence rb(b.rbegin(), b.rend());
+  return score_row(ra, rb);
+}
+
+void hirschberg_rec(SequenceView a, SequenceView b, Sequence& out) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  if (m == 0 || n == 0) return;
+  if (m == 1) {
+    const Symbol x = a[0];
+    for (const Symbol y : b) {
+      if (x == y) {
+        out.push_back(x);
+        return;
+      }
+    }
+    return;
+  }
+  const Index mid = m / 2;
+  const auto fwd = score_row(a.subspan(0, static_cast<std::size_t>(mid)), b);
+  const auto bwd = score_row_reversed(a.subspan(static_cast<std::size_t>(mid)), b);
+  Index best_j = 0;
+  Index best = -1;
+  for (Index j = 0; j <= n; ++j) {
+    const Index total = fwd[static_cast<std::size_t>(j)] + bwd[static_cast<std::size_t>(n - j)];
+    if (total > best) {
+      best = total;
+      best_j = j;
+    }
+  }
+  hirschberg_rec(a.subspan(0, static_cast<std::size_t>(mid)),
+                 b.subspan(0, static_cast<std::size_t>(best_j)), out);
+  hirschberg_rec(a.subspan(static_cast<std::size_t>(mid)),
+                 b.subspan(static_cast<std::size_t>(best_j)), out);
+}
+
+}  // namespace
+
+LcsResult lcs_hirschberg(SequenceView a, SequenceView b) {
+  LcsResult result;
+  hirschberg_rec(a, b, result.subsequence);
+  result.score = static_cast<Index>(result.subsequence.size());
+  return result;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,15 @@
+// Hirschberg's linear-space LCS recovery (divide-and-conquer over the middle
+// row, Hirschberg 1975). Produces an actual optimal common subsequence in
+// O(mn) time and O(m + n) memory -- the companion to the score-only
+// linear-space baselines in prefix.hpp.
+#pragma once
+
+#include "lcs/dp.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// LCS score and witness subsequence in linear memory.
+LcsResult lcs_hirschberg(SequenceView a, SequenceView b);
+
+}  // namespace semilocal

@@ -1,0 +1,23 @@
+// Linear-space "prefix LCS" baselines of the paper's evaluation (Figure 5):
+//
+//   prefix_rowmajor      - classical row-major rolling-array DP
+//   prefix_antidiag      - anti-diagonal computation order; the inner loop is
+//                          the branchless max3 form cur = max(up, left,
+//                          diag + match) which auto-vectorizes (the paper's
+//                          prefix_antidiag_SIMD), optionally with OpenMP
+//                          thread parallelism over each anti-diagonal.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Row-major rolling-array LCS score. O(min(m,n)) memory.
+Index lcs_prefix_rowmajor(SequenceView a, SequenceView b);
+
+/// Anti-diagonal branchless LCS score. With `parallel` true each
+/// anti-diagonal is processed by an OpenMP `for simd` worksharing loop;
+/// otherwise a plain `simd` loop.
+Index lcs_prefix_antidiag(SequenceView a, SequenceView b, bool parallel = false);
+
+}  // namespace semilocal

@@ -1,0 +1,48 @@
+// Bit-manipulation helpers shared by the bit-parallel LCS algorithms.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace semilocal {
+
+/// Machine word used by all bit-parallel kernels.
+using Word = std::uint64_t;
+
+inline constexpr int kWordBits = 64;
+
+/// Number of set bits in `w` ("Kernighan count" in the paper; we use the
+/// hardware popcount via std::popcount).
+[[nodiscard]] inline int popcount(Word w) noexcept { return std::popcount(w); }
+
+/// Total number of set bits across a span of words.
+[[nodiscard]] inline std::int64_t popcount(std::span<const Word> words) noexcept {
+  std::int64_t total = 0;
+  for (const Word w : words) total += std::popcount(w);
+  return total;
+}
+
+/// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+[[nodiscard]] constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) noexcept {
+  return ceil_div(a, b) * b;
+}
+
+/// Word with the low `n` bits set (0 <= n <= 64).
+[[nodiscard]] constexpr Word low_mask(int n) noexcept {
+  return n >= kWordBits ? ~Word{0} : ((Word{1} << n) - 1);
+}
+
+/// Branch-free conditional swap used by the branchless combing inner loop:
+/// returns a if p == 0, b if p == 1 (the paper's `(a & (p-1)) | ((-p) & b)`).
+template <typename UInt>
+[[nodiscard]] constexpr UInt select_if(UInt a, UInt b, UInt p) noexcept {
+  return static_cast<UInt>((a & (p - UInt{1})) | ((UInt{0} - p) & b));
+}
+
+}  // namespace semilocal

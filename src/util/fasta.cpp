@@ -1,0 +1,159 @@
+#include "util/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+
+char draw_base(Rng& rng, double gc) {
+  // GC split evenly between G and C; AT split evenly between A and T.
+  const double u = rng.uniform01();
+  if (u < gc / 2) return 'G';
+  if (u < gc) return 'C';
+  if (u < gc + (1.0 - gc) / 2) return 'A';
+  return 'T';
+}
+
+}  // namespace
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  bool seen_header = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      seen_header = true;
+      FastaRecord rec;
+      const auto space = line.find_first_of(" \t");
+      rec.id = line.substr(1, space == std::string::npos ? std::string::npos : space - 1);
+      if (space != std::string::npos) rec.description = line.substr(space + 1);
+      records.push_back(std::move(rec));
+    } else {
+      if (!seen_header) throw std::runtime_error("read_fasta: residue data before first '>' header");
+      auto& residues = records.back().residues;
+      for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        residues.push_back(static_cast<Symbol>(static_cast<unsigned char>(c)));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_fasta_file: cannot open " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records, int width) {
+  if (width <= 0) throw std::invalid_argument("write_fasta: width must be positive");
+  for (const auto& rec : records) {
+    out << '>' << rec.id;
+    if (!rec.description.empty()) out << ' ' << rec.description;
+    out << '\n';
+    const std::string text = to_string(rec.residues);
+    for (std::size_t pos = 0; pos < text.size(); pos += static_cast<std::size_t>(width)) {
+      out << text.substr(pos, static_cast<std::size_t>(width)) << '\n';
+    }
+  }
+}
+
+FastaRecord generate_genome(const GenomeModel& model, std::uint64_t seed,
+                            const std::string& id) {
+  if (model.length < 0) throw std::invalid_argument("generate_genome: negative length");
+  if (model.segment_length <= 0) throw std::invalid_argument("generate_genome: segment_length must be positive");
+  Rng rng(seed);
+  FastaRecord rec;
+  rec.id = id;
+  rec.description = "synthetic genome (GC=" + std::to_string(model.gc_content) + ")";
+  rec.residues.reserve(static_cast<std::size_t>(model.length));
+  Index emitted = 0;
+  while (emitted < model.length) {
+    const Index seg = std::min(model.segment_length, model.length - emitted);
+    double gc = model.gc_content +
+                model.segment_gc_jitter * (2.0 * rng.uniform01() - 1.0);
+    gc = std::clamp(gc, 0.05, 0.95);
+    for (Index i = 0; i < seg; ++i) {
+      rec.residues.push_back(static_cast<Symbol>(draw_base(rng, gc)));
+    }
+    emitted += seg;
+  }
+  return rec;
+}
+
+FastaRecord evolve_genome(const FastaRecord& ancestor, const MutationModel& m,
+                          std::uint64_t seed, const std::string& id) {
+  Rng rng(seed);
+  FastaRecord rec;
+  rec.id = id;
+  rec.description = "descendant of " + ancestor.id;
+  const auto& src = ancestor.residues;
+  rec.residues.reserve(src.size() + src.size() / 10);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (m.duplication_rate > 0 && rng.bernoulli(m.duplication_rate)) {
+      const Index len = std::min<Index>(rng.uniform(1, std::max<Index>(1, m.max_duplication_length)),
+                                        static_cast<Index>(src.size() - i));
+      for (Index k = 0; k < len; ++k) rec.residues.push_back(src[i + static_cast<std::size_t>(k)]);
+      // fall through: the original copy is still emitted below
+    }
+    if (m.indel_rate > 0 && rng.bernoulli(m.indel_rate)) {
+      const Index len = rng.uniform(1, std::max<Index>(1, m.max_indel_length));
+      if (rng.bernoulli(0.5)) {
+        // insertion of random bases
+        for (Index k = 0; k < len; ++k) {
+          rec.residues.push_back(static_cast<Symbol>(kBases[rng.uniform(0, 3)]));
+        }
+      } else {
+        // deletion: skip up to len source bases (including the current one)
+        i += static_cast<std::size_t>(len - 1);
+        continue;
+      }
+    }
+    Symbol base = src[i];
+    if (m.substitution_rate > 0 && rng.bernoulli(m.substitution_rate)) {
+      Symbol repl = static_cast<Symbol>(kBases[rng.uniform(0, 3)]);
+      if (repl == base) repl = static_cast<Symbol>(kBases[(rng.uniform(0, 3) + 1) % 4]);
+      base = repl;
+    }
+    rec.residues.push_back(base);
+  }
+  return rec;
+}
+
+std::pair<FastaRecord, FastaRecord> generate_genome_pair(
+    const GenomeModel& model, const MutationModel& mutations, std::uint64_t seed) {
+  const FastaRecord ancestor = generate_genome(model, seed);
+  FastaRecord a = evolve_genome(ancestor, mutations, seed + 1, "descendant_a");
+  FastaRecord b = evolve_genome(ancestor, mutations, seed + 2, "descendant_b");
+  return {std::move(a), std::move(b)};
+}
+
+Sequence pack_dna(SequenceView residues) {
+  Sequence out;
+  out.reserve(residues.size());
+  for (const Symbol s : residues) {
+    switch (std::toupper(static_cast<int>(s))) {
+      case 'A': out.push_back(0); break;
+      case 'C': out.push_back(1); break;
+      case 'G': out.push_back(2); break;
+      case 'T': out.push_back(3); break;
+      default: out.push_back(4); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,22 @@
+#include "util/parallel.hpp"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+namespace semilocal {
+
+int max_threads() { return omp_get_max_threads(); }
+
+int hardware_threads() { return omp_get_num_procs(); }
+
+void set_threads(int n) {
+  if (n <= 0) throw std::invalid_argument("set_threads: thread count must be positive");
+  omp_set_num_threads(n);
+}
+
+ThreadScope::ThreadScope(int n) : saved_(omp_get_max_threads()) { set_threads(n); }
+
+ThreadScope::~ThreadScope() { omp_set_num_threads(saved_); }
+
+}  // namespace semilocal

@@ -1,0 +1,32 @@
+// Thin OpenMP helpers: scoped thread-count control and capability queries.
+//
+// The library's parallel algorithms use OpenMP directly (parallel for over
+// anti-diagonals, task recursion for the steady ant); this header centralizes
+// the few runtime knobs the benchmark harness needs.
+#pragma once
+
+namespace semilocal {
+
+/// Number of threads OpenMP will use for the next parallel region.
+int max_threads();
+
+/// Number of hardware threads visible to the process.
+int hardware_threads();
+
+/// Sets the global OpenMP thread count (like omp_set_num_threads).
+void set_threads(int n);
+
+/// RAII guard: sets the OpenMP thread count for a scope, restores on exit.
+/// Used by the thread-sweep benchmarks (Figures 7-9).
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n);
+  ~ThreadScope();
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace semilocal

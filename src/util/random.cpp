@@ -1,0 +1,73 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace semilocal {
+
+Sequence rounded_normal_sequence(Index length, double sigma, std::uint64_t seed) {
+  if (length < 0) throw std::invalid_argument("rounded_normal_sequence: negative length");
+  Rng rng(seed);
+  std::normal_distribution<double> dist(0.0, sigma);
+  Sequence out(static_cast<std::size_t>(length));
+  for (auto& s : out) {
+    // "rounded towards zero" == truncation.
+    s = static_cast<Symbol>(std::trunc(dist(rng.engine())));
+  }
+  return out;
+}
+
+Sequence uniform_sequence(Index length, Symbol alphabet, std::uint64_t seed) {
+  if (length < 0) throw std::invalid_argument("uniform_sequence: negative length");
+  if (alphabet <= 0) throw std::invalid_argument("uniform_sequence: alphabet must be positive");
+  Rng rng(seed);
+  Sequence out(static_cast<std::size_t>(length));
+  for (auto& s : out) s = static_cast<Symbol>(rng.uniform(0, alphabet - 1));
+  return out;
+}
+
+Sequence binary_sequence(Index length, std::uint64_t seed, double density) {
+  if (length < 0) throw std::invalid_argument("binary_sequence: negative length");
+  Rng rng(seed);
+  Sequence out(static_cast<std::size_t>(length));
+  for (auto& s : out) s = rng.bernoulli(density) ? 1 : 0;
+  return out;
+}
+
+std::vector<std::int32_t> random_permutation_vector(Index n, std::uint64_t seed) {
+  if (n < 0) throw std::invalid_argument("random_permutation_vector: negative size");
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  Rng rng(seed);
+  for (Index i = n - 1; i > 0; --i) {
+    const Index j = rng.uniform(0, i);
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+Sequence mutate_sequence(SequenceView base, double sub_rate, Index indels,
+                         Symbol alphabet, std::uint64_t seed) {
+  if (alphabet <= 1) throw std::invalid_argument("mutate_sequence: alphabet must exceed 1");
+  Rng rng(seed);
+  Sequence out(base.begin(), base.end());
+  for (auto& s : out) {
+    if (rng.bernoulli(sub_rate)) {
+      Symbol repl = static_cast<Symbol>(rng.uniform(0, alphabet - 1));
+      if (repl == s) repl = static_cast<Symbol>((repl + 1) % alphabet);
+      s = repl;
+    }
+  }
+  for (Index k = 0; k < indels && !out.empty(); ++k) {
+    const auto pos = static_cast<std::size_t>(rng.uniform(0, static_cast<Index>(out.size()) - 1));
+    if (rng.bernoulli(0.5)) {
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 static_cast<Symbol>(rng.uniform(0, alphabet - 1)));
+    }
+  }
+  return out;
+}
+
+}  // namespace semilocal

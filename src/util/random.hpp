@@ -1,0 +1,62 @@
+// Workload generation: the synthetic inputs of the ICPP'21 evaluation.
+//
+// The paper's synthetic strings are "randomly generated integer sequences of
+// length up to 1e6, with characters sampled from a normal distribution with
+// zero mean and standard deviation sigma, and then rounded towards zero".
+// Varying sigma emulates high / medium / low matching frequency.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Deterministic 64-bit RNG wrapper. Every generator in the library takes an
+/// explicit seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Paper workload: N(0, sigma) rounded towards zero. sigma = 1 gives ~68%
+/// zeros (high match frequency); large sigma approaches a large alphabet
+/// (low match frequency).
+Sequence rounded_normal_sequence(Index length, double sigma, std::uint64_t seed);
+
+/// Uniform alphabet workload: symbols uniform in [0, alphabet).
+Sequence uniform_sequence(Index length, Symbol alphabet, std::uint64_t seed);
+
+/// Binary workload for the bit-parallel algorithms: symbols in {0, 1} with
+/// P(1) = density.
+Sequence binary_sequence(Index length, std::uint64_t seed, double density = 0.5);
+
+/// Uniformly random permutation of [0, n) (Fisher–Yates), used as random
+/// braid-multiplication inputs exactly as in Section 5.1 of the paper.
+std::vector<std::int32_t> random_permutation_vector(Index n, std::uint64_t seed);
+
+/// Mutates `base` into a similar string: per-position substitution with
+/// probability `sub_rate`, plus `indels` random single-symbol insertions or
+/// deletions. Used to build high-similarity pairs resembling genome pairs.
+Sequence mutate_sequence(SequenceView base, double sub_rate, Index indels,
+                         Symbol alphabet, std::uint64_t seed);
+
+}  // namespace semilocal

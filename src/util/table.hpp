@@ -1,0 +1,47 @@
+// Console-table and CSV reporting for the benchmark harness.
+//
+// Every figure-reproduction binary prints one or more labelled tables (the
+// series the paper plots) and mirrors them to CSV files so results can be
+// re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace semilocal {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Renders as an aligned ASCII table.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+  /// Writes RFC-4180-ish CSV (header + rows).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a positive scale factor from the SEMILOCAL_BENCH_SCALE environment
+/// variable (default 1.0). Benchmarks multiply their default problem sizes
+/// by this to move between quick-check and paper-scale runs.
+double bench_scale();
+
+}  // namespace semilocal

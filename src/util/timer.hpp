@@ -1,0 +1,72 @@
+// Wall-clock timing and summary statistics for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace semilocal {
+
+/// Monotonic stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Summary statistics over repeated timing samples.
+struct TimingStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  int samples = 0;
+
+  static TimingStats from(std::vector<double> xs) {
+    TimingStats s;
+    s.samples = static_cast<int>(xs.size());
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.min = xs.front();
+    s.max = xs.back();
+    const std::size_t n = xs.size();
+    s.median = (n % 2 == 1) ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+    double sum = 0.0;
+    for (const double x : xs) sum += x;
+    s.mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+    s.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    return s;
+  }
+};
+
+/// Runs `fn` `repeats` times and returns per-run wall-clock seconds.
+template <typename Fn>
+std::vector<double> time_runs(int repeats, Fn&& fn) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    out.push_back(t.seconds());
+  }
+  return out;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,54 @@
+// Common scalar types and string conventions for the semilocal library.
+//
+// Strings are sequences of integer symbols (`Symbol`).  The library never
+// interprets symbol values beyond equality comparison, so any alphabet --
+// bytes, DNA letters, rounded-normal integers as in the ICPP'21 paper --
+// maps onto `Sequence` losslessly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semilocal {
+
+/// Alphabet symbol. 32 bits so the paper's rounded-normal integer workloads
+/// fit directly; equality is the only operation algorithms rely on.
+using Symbol = std::int32_t;
+
+/// Owning string of symbols.
+using Sequence = std::vector<Symbol>;
+
+/// Non-owning view of a string of symbols. All algorithm entry points take
+/// views so callers can slice without copying.
+using SequenceView = std::span<const Symbol>;
+
+/// Index type for string positions and permutation-matrix coordinates.
+/// Signed (CppCoreGuidelines ES.100-adjacent pragmatism: subtraction-heavy
+/// index arithmetic) and 64-bit so paper-scale inputs (1e7 braids) are safe.
+using Index = std::int64_t;
+
+/// Converts a byte string to a symbol sequence (one symbol per char).
+inline Sequence to_sequence(std::string_view text) {
+  Sequence out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(static_cast<Symbol>(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Converts a symbol sequence holding character codes back to a byte string.
+/// Symbols outside [0,255] are rendered as '?'.
+inline std::string to_string(SequenceView seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (const Symbol s : seq) {
+    out.push_back((s >= 0 && s < 256) ? static_cast<char>(s) : '?');
+  }
+  return out;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,57 @@
+#include "oracles.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace semilocal::testing {
+
+Index lcs_oracle(SequenceView a, SequenceView b) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  std::vector<Index> prev(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> cur(static_cast<std::size_t>(n) + 1, 0);
+  for (Index i = 1; i <= m; ++i) {
+    cur[0] = 0;
+    for (Index j = 1; j <= n; ++j) {
+      const Symbol x = a[static_cast<std::size_t>(i - 1)];
+      const Symbol y = b[static_cast<std::size_t>(j - 1)];
+      const bool match = (x == y) || x == kWildcard || y == kWildcard;
+      if (match) {
+        cur[static_cast<std::size_t>(j)] = prev[static_cast<std::size_t>(j - 1)] + 1;
+      } else {
+        cur[static_cast<std::size_t>(j)] = std::max(prev[static_cast<std::size_t>(j)],
+                                                    cur[static_cast<std::size_t>(j - 1)]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<std::size_t>(n)];
+}
+
+DenseMatrix semi_local_h_oracle(SequenceView a, SequenceView b) {
+  const Index m = static_cast<Index>(a.size());
+  const Index n = static_cast<Index>(b.size());
+  Sequence b_pad(static_cast<std::size_t>(m), kWildcard);
+  b_pad.insert(b_pad.end(), b.begin(), b.end());
+  b_pad.insert(b_pad.end(), static_cast<std::size_t>(m), kWildcard);
+  DenseMatrix h(m + n + 1, m + n + 1, 0);
+  for (Index i = 0; i <= m + n; ++i) {
+    for (Index j = 0; j <= m + n; ++j) {
+      if (i < j + m) {
+        const SequenceView window{b_pad.data() + i, static_cast<std::size_t>(j + m - i)};
+        h.at(i, j) = lcs_oracle(a, window);
+      } else {
+        h.at(i, j) = j + m - i;
+      }
+    }
+  }
+  return h;
+}
+
+Sequence random_string(Index length, Symbol alphabet, std::uint64_t seed) {
+  return uniform_sequence(length, alphabet, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace semilocal::testing

@@ -1,0 +1,33 @@
+// Brute-force reference implementations used only by the test suite.
+//
+// These oracles are deliberately the most literal transcription of the
+// definitions in the paper, with no algorithmic cleverness, so that every
+// fast implementation in the library can be validated against them on small
+// inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "braid/monge.hpp"
+#include "util/types.hpp"
+
+namespace semilocal::testing {
+
+/// Wildcard symbol for the padded string b^pad of Definition 3.3: matches
+/// every symbol including itself.
+inline constexpr Symbol kWildcard = -1'000'000;
+
+/// Plain quadratic LCS by dynamic programming; `kWildcard` in either input
+/// matches anything.
+Index lcs_oracle(SequenceView a, SequenceView b);
+
+/// The (m+n+1) x (m+n+1) semi-local LCS matrix H_{a,b} computed directly
+/// from Definition 3.3: H(i,j) = LCS(a, b_pad[i, j+m)) for i < j+m and
+/// j + m - i otherwise, where b_pad = ?^m b ?^m.
+DenseMatrix semi_local_h_oracle(SequenceView a, SequenceView b);
+
+/// A random test string over a small alphabet (uniform), convenience wrapper
+/// with a distinct seed stream from library generators.
+Sequence random_string(Index length, Symbol alphabet, std::uint64_t seed);
+
+}  // namespace semilocal::testing

@@ -1,0 +1,140 @@
+// Cross-validation of every semi-local combing strategy against the
+// row-major reference (itself validated against the H-matrix definition in
+// test_kernel.cpp).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/api.hpp"
+#include "oracles.hpp"
+#include "util/fasta.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+const std::vector<Strategy> kAllStrategies = {
+    Strategy::kRowMajor,   Strategy::kAntidiag, Strategy::kAntidiagSimd,
+    Strategy::kLoadBalanced, Strategy::kRecursive, Strategy::kHybrid,
+    Strategy::kHybridTiled,
+};
+
+class CombingCross
+    : public ::testing::TestWithParam<std::tuple<Index, Index, Symbol, std::uint64_t>> {};
+
+TEST_P(CombingCross, AllStrategiesProduceTheSameKernel) {
+  const auto [m, n, alphabet, seed] = GetParam();
+  const auto a = testing::random_string(m, alphabet, seed * 17 + 1);
+  const auto b = testing::random_string(n, alphabet, seed * 17 + 2);
+  const auto reference = semi_local_kernel(a, b, {.strategy = Strategy::kRowMajor});
+  for (const Strategy s : kAllStrategies) {
+    for (const bool parallel : {false, true}) {
+      const auto kernel =
+          semi_local_kernel(a, b, {.strategy = s, .parallel = parallel, .depth = 2});
+      EXPECT_EQ(kernel.permutation(), reference.permutation())
+          << strategy_name(s) << (parallel ? " (parallel)" : " (serial)") << " m=" << m
+          << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CombingCross,
+    ::testing::Combine(::testing::Values<Index>(1, 2, 3, 7, 16, 33, 64),
+                       ::testing::Values<Index>(1, 4, 8, 31, 65),
+                       ::testing::Values<Symbol>(2, 6),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(Combing, SixteenBitAndThirtyTwoBitStrandsAgree) {
+  const auto a = rounded_normal_sequence(700, 1.5, 41);
+  const auto b = rounded_normal_sequence(900, 1.5, 42);
+  const auto k16 = comb_antidiag(a, b, {.branchless = true, .allow_16bit = true});
+  const auto k32 = comb_antidiag(a, b, {.branchless = true, .allow_16bit = false});
+  EXPECT_EQ(k16.permutation(), k32.permutation());
+}
+
+TEST(Combing, WideVersusTallInputs) {
+  // m > n exercises the flip path of the anti-diagonal variants.
+  const auto a = testing::random_string(120, 4, 51);
+  const auto b = testing::random_string(30, 4, 52);
+  const auto ref = comb_rowmajor(a, b);
+  EXPECT_EQ(comb_antidiag(a, b).permutation(), ref.permutation());
+  EXPECT_EQ(comb_load_balanced(a, b).permutation(), ref.permutation());
+}
+
+TEST(Combing, EqualLengthInputs) {
+  const auto a = testing::random_string(64, 2, 61);
+  const auto b = testing::random_string(64, 2, 62);
+  const auto ref = comb_rowmajor(a, b);
+  for (const Strategy s : kAllStrategies) {
+    EXPECT_EQ(semi_local_kernel(a, b, {.strategy = s}).permutation(), ref.permutation())
+        << strategy_name(s);
+  }
+}
+
+TEST(Combing, HybridDepthSweepAllAgree) {
+  const auto a = rounded_normal_sequence(300, 1.0, 71);
+  const auto b = rounded_normal_sequence(450, 1.0, 72);
+  const auto ref = comb_antidiag(a, b);
+  for (int depth = 0; depth <= 5; ++depth) {
+    const auto k = hybrid_combing(a, b, {.depth = depth, .parallel = (depth % 2 == 0)});
+    EXPECT_EQ(k.permutation(), ref.permutation()) << "depth=" << depth;
+  }
+}
+
+TEST(Combing, HybridTiledExplicitGrids) {
+  const auto a = rounded_normal_sequence(200, 2.0, 81);
+  const auto b = rounded_normal_sequence(330, 2.0, 82);
+  const auto ref = comb_antidiag(a, b);
+  for (const auto& [mo, no] : std::vector<std::pair<Index, Index>>{{1, 1}, {1, 4}, {4, 1}, {2, 3}, {5, 5}, {8, 8}}) {
+    const auto k = hybrid_tiled_combing(a, b, mo, no, {.parallel = true});
+    EXPECT_EQ(k.permutation(), ref.permutation()) << "grid " << mo << "x" << no;
+  }
+}
+
+TEST(Combing, OptimalSplitProvidesEnoughTiles) {
+  const auto [mo, no] = optimal_split(100000, 200000, 8, true);
+  EXPECT_GE(mo * no, 8);
+  EXPECT_LT((100000 + mo - 1) / mo + (200000 + no - 1) / no, Index{1} << 16);
+  const auto [mo1, no1] = optimal_split(10, 10, 1, false);
+  EXPECT_EQ(mo1 * no1, 1);
+}
+
+TEST(Combing, RecursiveMatchesOnSingleCharacters) {
+  EXPECT_EQ(recursive_combing(to_sequence("A"), to_sequence("A")).permutation(),
+            Permutation::identity(2));
+  EXPECT_EQ(recursive_combing(to_sequence("A"), to_sequence("B")).permutation(),
+            Permutation::reversal(2));
+}
+
+TEST(Combing, LcsSemilocalAgreesWithOracleOnGenomes) {
+  GenomeModel model;
+  model.length = 300;
+  MutationModel mut;
+  const auto [ra, rb] = generate_genome_pair(model, mut, 91);
+  const auto a = pack_dna(ra.residues);
+  const auto b = pack_dna(rb.residues);
+  const Index expected = testing::lcs_oracle(a, b);
+  for (const Strategy s : kAllStrategies) {
+    EXPECT_EQ(lcs_semilocal(a, b, {.strategy = s}), expected) << strategy_name(s);
+  }
+}
+
+
+TEST(Combing, MinMaxFormulationAgrees) {
+  // The AVX-512 min/max inner loop (paper Section 6) must produce the same
+  // kernel as the bitwise-select formulation.
+  for (const auto& [m, n] : std::vector<std::pair<Index, Index>>{{64, 64}, {100, 333}, {500, 200}}) {
+    const auto a = rounded_normal_sequence(m, 1.0, 97);
+    const auto b = rounded_normal_sequence(n, 1.0, 98);
+    const auto ref = comb_antidiag(a, b, {.branchless = true, .minmax = false});
+    for (const bool parallel : {false, true}) {
+      const auto k = comb_antidiag(a, b, {.branchless = true, .parallel = parallel,
+                                          .minmax = true});
+      EXPECT_EQ(k.permutation(), ref.permutation()) << m << "x" << n << " parallel=" << parallel;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "braid/permutation.hpp"
+#include "dominance/mergesort_tree.hpp"
+#include "dominance/prefix_oracle.hpp"
+#include "dominance/wavelet_tree.hpp"
+
+namespace semilocal {
+namespace {
+
+TEST(DensePrefixOracle, MatchesDirectDominanceSum) {
+  const auto p = Permutation::random(37, 11);
+  const DensePrefixOracle oracle(p);
+  for (Index i = 0; i <= 37; ++i) {
+    for (Index j = 0; j <= 37; ++j) {
+      EXPECT_EQ(oracle.count(i, j), p.dominance_sum(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(MergesortTree, MatchesDenseOracleExhaustively) {
+  for (const Index n : {1, 2, 3, 7, 8, 9, 31, 64, 65}) {
+    const auto p = Permutation::random(n, static_cast<std::uint64_t>(n) * 13);
+    const DensePrefixOracle dense(p);
+    const MergesortTree tree(p);
+    for (Index i = 0; i <= n; ++i) {
+      for (Index j = 0; j <= n; ++j) {
+        EXPECT_EQ(tree.count(i, j), dense.count(i, j)) << "n=" << n << " " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(MergesortTree, EmptyPermutation) {
+  const MergesortTree tree(Permutation(0));
+  EXPECT_EQ(tree.count(0, 0), 0);
+  EXPECT_EQ(tree.size(), 0);
+}
+
+TEST(MergesortTree, OutOfRangeArgumentsClampToZero) {
+  const auto p = Permutation::identity(8);
+  const MergesortTree tree(p);
+  EXPECT_EQ(tree.count(8, 8), 0);   // no rows >= 8
+  EXPECT_EQ(tree.count(0, 0), 0);   // no cols < 0
+  EXPECT_EQ(tree.count(0, 8), 8);   // everything
+}
+
+TEST(MergesortTree, MemoryStaysNLogN) {
+  const Index n = 1 << 12;
+  const MergesortTree tree(Permutation::random(n, 3));
+  // n values per level, log2(n) + 1 levels.
+  EXPECT_LE(tree.stored_elements(), static_cast<std::size_t>(n) * 14);
+  EXPECT_GE(tree.stored_elements(), static_cast<std::size_t>(n));
+}
+
+TEST(MergesortTree, LargeRandomSpotChecks) {
+  const Index n = 5000;
+  const auto p = Permutation::random(n, 77);
+  const MergesortTree tree(p);
+  for (Index i = 0; i <= n; i += 457) {
+    for (Index j = 0; j <= n; j += 613) {
+      EXPECT_EQ(tree.count(i, j), p.dominance_sum(i, j));
+    }
+  }
+}
+
+
+TEST(RankBitvector, RankMatchesScan) {
+  RankBitvector bv(200);
+  std::vector<bool> ref(200, false);
+  for (Index pos : {0, 1, 63, 64, 65, 127, 128, 199}) {
+    bv.set(pos);
+    ref[static_cast<std::size_t>(pos)] = true;
+  }
+  bv.finalize();
+  Index ones = 0;
+  for (Index pos = 0; pos <= 200; ++pos) {
+    EXPECT_EQ(bv.rank1(pos), ones) << pos;
+    EXPECT_EQ(bv.rank0(pos), pos - ones) << pos;
+    if (pos < 200 && ref[static_cast<std::size_t>(pos)]) ++ones;
+  }
+}
+
+TEST(WaveletTree, MatchesDenseOracleExhaustively) {
+  for (const Index n : {1, 2, 3, 7, 8, 9, 31, 64, 65, 100}) {
+    const auto p = Permutation::random(n, static_cast<std::uint64_t>(n) * 29);
+    const DensePrefixOracle dense(p);
+    const WaveletTree tree(p);
+    for (Index i = 0; i <= n; ++i) {
+      for (Index j = 0; j <= n; ++j) {
+        EXPECT_EQ(tree.count(i, j), dense.count(i, j)) << "n=" << n << " " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(WaveletTree, AgreesWithMergesortTreeOnLargeRandom) {
+  const Index n = 5000;
+  const auto p = Permutation::random(n, 123);
+  const MergesortTree ms(p);
+  const WaveletTree wt(p);
+  for (Index i = 0; i <= n; i += 311) {
+    for (Index j = 0; j <= n; j += 401) {
+      EXPECT_EQ(wt.count(i, j), ms.count(i, j));
+    }
+  }
+}
+
+TEST(WaveletTree, EmptyAndIdentity) {
+  EXPECT_EQ(WaveletTree(Permutation(0)).count(0, 0), 0);
+  const WaveletTree id(Permutation::identity(16));
+  EXPECT_EQ(id.count(0, 16), 16);
+  EXPECT_EQ(id.count(8, 8), 0);
+  EXPECT_EQ(id.count(8, 16), 8);
+  EXPECT_EQ(id.count(4, 12), 8);
+}
+
+TEST(WaveletTree, ClampsOutOfRangeArguments) {
+  const WaveletTree wt(Permutation::reversal(10));
+  EXPECT_EQ(wt.count(-5, 20), 10);
+  EXPECT_EQ(wt.count(10, 10), 0);
+}
+
+}  // namespace
+}  // namespace semilocal

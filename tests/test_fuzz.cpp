@@ -1,0 +1,155 @@
+// Deterministic randomized "torture" tests: heavier cross-module sweeps
+// with randomly drawn shapes, alphabets and configurations. Seeds are fixed
+// so failures reproduce; each iteration draws a fresh scenario.
+#include <gtest/gtest.h>
+
+#include "align/distance.hpp"
+#include "align/edit.hpp"
+#include "bitlcs/bitwise_combing.hpp"
+#include "braid/monge.hpp"
+#include "braid/steady_ant.hpp"
+#include "core/api.hpp"
+#include "core/serialize.hpp"
+#include "lcs/dp.hpp"
+#include "oracles.hpp"
+#include "util/random.hpp"
+
+#include <sstream>
+
+namespace semilocal {
+namespace {
+
+TEST(Fuzz, SteadyAntRandomShapesAgainstOracle) {
+  Rng rng(2026);
+  for (int round = 0; round < 60; ++round) {
+    const Index n = rng.uniform(1, 90);
+    const auto p = Permutation::random(n, rng.engine()());
+    const auto q = Permutation::random(n, rng.engine()());
+    const auto expected = multiply_naive(p, q);
+    SteadyAntOptions opts;
+    opts.precalc = rng.bernoulli(0.5);
+    opts.preallocate = rng.bernoulli(0.5);
+    opts.parallel_depth = static_cast<int>(rng.uniform(0, 3));
+    opts.precalc_cutoff = rng.uniform(1, 5);
+    EXPECT_EQ(multiply(p, q, opts), expected)
+        << "n=" << n << " precalc=" << opts.precalc << " pool=" << opts.preallocate
+        << " depth=" << opts.parallel_depth << " cutoff=" << opts.precalc_cutoff;
+  }
+}
+
+TEST(Fuzz, RandomConfigurationsAllProduceTheReferenceKernel) {
+  Rng rng(777);
+  const std::vector<Strategy> strategies = {
+      Strategy::kAntidiag,    Strategy::kAntidiagSimd, Strategy::kLoadBalanced,
+      Strategy::kRecursive,   Strategy::kHybrid,       Strategy::kHybridTiled,
+  };
+  for (int round = 0; round < 30; ++round) {
+    const Index m = rng.uniform(1, 120);
+    const Index n = rng.uniform(1, 120);
+    const Symbol alphabet = static_cast<Symbol>(rng.uniform(2, 8));
+    const auto a = uniform_sequence(m, alphabet, rng.engine()());
+    const auto b = uniform_sequence(n, alphabet, rng.engine()());
+    const auto reference = comb_rowmajor(a, b);
+    SemiLocalOptions opts;
+    opts.strategy = strategies[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<Index>(strategies.size()) - 1))];
+    opts.parallel = rng.bernoulli(0.5);
+    opts.depth = static_cast<int>(rng.uniform(0, 4));
+    opts.allow_16bit = rng.bernoulli(0.5);
+    opts.ant.precalc = rng.bernoulli(0.7);
+    opts.ant.preallocate = rng.bernoulli(0.7);
+    const auto kernel = semi_local_kernel(a, b, opts);
+    EXPECT_EQ(kernel.permutation(), reference.permutation())
+        << strategy_name(opts.strategy) << " m=" << m << " n=" << n
+        << " parallel=" << opts.parallel << " depth=" << opts.depth;
+  }
+}
+
+TEST(Fuzz, MinMaxAndSelectInnerLoopsAgreeOnRandomShapes) {
+  Rng rng(31337);
+  for (int round = 0; round < 25; ++round) {
+    const Index m = rng.uniform(1, 300);
+    const Index n = rng.uniform(1, 300);
+    const auto a = rounded_normal_sequence(m, 0.3 + 4.0 * rng.uniform01(), rng.engine()());
+    const auto b = rounded_normal_sequence(n, 0.3 + 4.0 * rng.uniform01(), rng.engine()());
+    const auto select_kernel = comb_antidiag(a, b, {.minmax = false});
+    const auto minmax_kernel = comb_antidiag(a, b, {.minmax = true});
+    EXPECT_EQ(select_kernel.permutation(), minmax_kernel.permutation());
+  }
+}
+
+TEST(Fuzz, BitCombingVariantsOnRandomDensities) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const Index m = rng.uniform(1, 500);
+    const Index n = rng.uniform(1, 500);
+    const double density = 0.05 + 0.9 * rng.uniform01();
+    const auto a = binary_sequence(m, rng.engine()(), density);
+    const auto b = binary_sequence(n, rng.engine()(), density);
+    const Index expected = lcs_score_dp(a, b);
+    for (const auto v : {BitVariant::kOld, BitVariant::kBlocked, BitVariant::kOptimized,
+                         BitVariant::kInterleaved}) {
+      EXPECT_EQ(lcs_bit_combing(a, b, v, rng.bernoulli(0.5)), expected)
+          << "variant " << static_cast<int>(v) << " m=" << m << " n=" << n;
+    }
+    EXPECT_EQ(lcs_bit_combing_alphabet(a, b, 2, false), expected);
+  }
+}
+
+TEST(Fuzz, QuadrantQueriesOnRandomKernels) {
+  Rng rng(4242);
+  for (int round = 0; round < 12; ++round) {
+    const Index m = rng.uniform(1, 40);
+    const Index n = rng.uniform(1, 40);
+    const auto a = uniform_sequence(m, 4, rng.engine()());
+    const auto b = uniform_sequence(n, 4, rng.engine()());
+    auto kernel = semi_local_kernel(a, b);
+    if (rng.bernoulli(0.33)) kernel.enable_dense_queries();
+    else if (rng.bernoulli(0.5)) kernel.enable_wavelet_queries();
+    const SequenceView va{a};
+    const SequenceView vb{b};
+    for (int q = 0; q < 20; ++q) {
+      const Index j0 = rng.uniform(0, n);
+      const Index j1 = rng.uniform(j0, n);
+      EXPECT_EQ(kernel.string_substring(j0, j1),
+                testing::lcs_oracle(va, vb.subspan(static_cast<std::size_t>(j0),
+                                                   static_cast<std::size_t>(j1 - j0))));
+      const Index k = rng.uniform(0, m);
+      const Index l = rng.uniform(0, n);
+      EXPECT_EQ(kernel.prefix_suffix(k, l),
+                testing::lcs_oracle(va.subspan(0, static_cast<std::size_t>(k)),
+                                    vb.subspan(static_cast<std::size_t>(l))));
+    }
+  }
+}
+
+TEST(Fuzz, SerializationSurvivesRandomKernels) {
+  Rng rng(555);
+  for (int round = 0; round < 15; ++round) {
+    const Index m = rng.uniform(0, 200);
+    const Index n = rng.uniform(0, 200);
+    const auto a = uniform_sequence(m, 5, rng.engine()());
+    const auto b = uniform_sequence(n, 5, rng.engine()());
+    const auto kernel = semi_local_kernel(a, b);
+    std::stringstream buffer;
+    save_kernel(buffer, kernel);
+    const auto loaded = load_kernel(buffer);
+    EXPECT_EQ(loaded.permutation(), kernel.permutation());
+    EXPECT_EQ(loaded.lcs(), kernel.lcs());
+  }
+}
+
+TEST(Fuzz, EditDistanceReductionOnRandomShapes) {
+  Rng rng(808);
+  for (int round = 0; round < 20; ++round) {
+    const Index m = rng.uniform(0, 80);
+    const Index n = rng.uniform(0, 80);
+    const Symbol alphabet = static_cast<Symbol>(rng.uniform(2, 6));
+    const auto a = uniform_sequence(m, alphabet, rng.engine()());
+    const auto b = uniform_sequence(n, alphabet, rng.engine()());
+    EXPECT_EQ(levenshtein_via_lcs(a, b), levenshtein(a, b)) << "m=" << m << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,161 @@
+// Serialization, incremental maintenance and rendering of kernels.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <cstring>
+#include <sstream>
+
+#include "core/api.hpp"
+#include "core/braid_render.hpp"
+#include "core/incremental.hpp"
+#include "core/serialize.hpp"
+#include "oracles.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+TEST(Serialize, RoundTripsThroughStream) {
+  const auto a = testing::random_string(30, 4, 1);
+  const auto b = testing::random_string(45, 4, 2);
+  const auto kernel = semi_local_kernel(a, b);
+  std::stringstream buffer;
+  save_kernel(buffer, kernel);
+  const auto loaded = load_kernel(buffer);
+  EXPECT_EQ(loaded.m(), kernel.m());
+  EXPECT_EQ(loaded.n(), kernel.n());
+  EXPECT_EQ(loaded.permutation(), kernel.permutation());
+  EXPECT_EQ(loaded.lcs(), kernel.lcs());
+}
+
+TEST(Serialize, RoundTripsThroughFile) {
+  const auto kernel = semi_local_kernel(to_sequence("HELLO"), to_sequence("WORLD"));
+  const auto path = std::filesystem::temp_directory_path() / "semilocal_kernel_test.bin";
+  save_kernel_file(path.string(), kernel);
+  const auto loaded = load_kernel_file(path.string());
+  EXPECT_EQ(loaded.permutation(), kernel.permutation());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, EmptyKernel) {
+  const auto kernel = semi_local_kernel(Sequence{}, Sequence{});
+  std::stringstream buffer;
+  save_kernel(buffer, kernel);
+  const auto loaded = load_kernel(buffer);
+  EXPECT_EQ(loaded.order(), 0);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not a kernel file at all, definitely");
+  EXPECT_THROW((void)load_kernel(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const auto kernel = semi_local_kernel(to_sequence("ABCD"), to_sequence("DCBA"));
+  std::stringstream buffer;
+  save_kernel(buffer, kernel);
+  const std::string full = buffer.str();
+  for (const std::size_t cut : {full.size() - 1, full.size() / 2, std::size_t{9}, std::size_t{3}}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW((void)load_kernel(truncated), std::runtime_error) << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RejectsCorruptPermutation) {
+  const auto kernel = semi_local_kernel(to_sequence("ABCD"), to_sequence("DCBA"));
+  std::stringstream buffer;
+  save_kernel(buffer, kernel);
+  std::string bytes = buffer.str();
+  // Duplicate the first permutation entry over the second (last 8 entries
+  // of the payload are the row->col array).
+  const std::size_t payload = bytes.size() - 8 * sizeof(std::int32_t);
+  std::memcpy(bytes.data() + payload + sizeof(std::int32_t), bytes.data() + payload,
+              sizeof(std::int32_t));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW((void)load_kernel(corrupt), std::runtime_error);
+}
+
+TEST(Incremental, AppendAMatchesDirect) {
+  const auto b = testing::random_string(40, 3, 5);
+  const auto a_full = testing::random_string(36, 3, 6);
+  const SequenceView va{a_full};
+  IncrementalKernel inc(va.subspan(0, 10), b);
+  inc.append_a(va.subspan(10, 13));
+  inc.append_a(va.subspan(23));
+  const auto direct = semi_local_kernel(a_full, b);
+  EXPECT_EQ(inc.kernel().permutation(), direct.permutation());
+  EXPECT_EQ(inc.a(), a_full);
+}
+
+TEST(Incremental, AppendBMatchesDirect) {
+  const auto a = testing::random_string(25, 3, 7);
+  const auto b_full = testing::random_string(50, 3, 8);
+  const SequenceView vb{b_full};
+  IncrementalKernel inc(a, vb.subspan(0, 20));
+  inc.append_b(vb.subspan(20, 17));
+  inc.append_b(vb.subspan(37));
+  const auto direct = semi_local_kernel(a, b_full);
+  EXPECT_EQ(inc.kernel().permutation(), direct.permutation());
+}
+
+TEST(Incremental, MixedAppendsCharByChar) {
+  const auto a_full = testing::random_string(12, 2, 9);
+  const auto b_full = testing::random_string(14, 2, 10);
+  IncrementalKernel inc(SequenceView{}, SequenceView{});
+  const SequenceView va{a_full};
+  const SequenceView vb{b_full};
+  // Interleave single-character growth of both strings.
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < va.size() || ib < vb.size()) {
+    if (ia < va.size()) inc.append_a(va.subspan(ia++, 1));
+    if (ib < vb.size()) inc.append_b(vb.subspan(ib++, 1));
+  }
+  const auto direct = semi_local_kernel(a_full, b_full);
+  EXPECT_EQ(inc.kernel().permutation(), direct.permutation());
+}
+
+TEST(Incremental, EmptyChunksAreNoOps) {
+  const auto a = to_sequence("AB");
+  const auto b = to_sequence("BA");
+  IncrementalKernel inc(a, b);
+  const auto before = inc.kernel().permutation();
+  inc.append_a({});
+  inc.append_b({});
+  EXPECT_EQ(inc.kernel().permutation(), before);
+}
+
+TEST(Render, CombingGridShowsDecisions) {
+  const auto grid = render_combing_grid(to_sequence("AB"), to_sequence("BA"));
+  // Cell (0,0): 'A' vs 'B' mismatch, first meeting -> X.
+  // Cell (0,1): 'A' vs 'A' match -> '='.
+  EXPECT_NE(grid.find('X'), std::string::npos);
+  EXPECT_NE(grid.find('='), std::string::npos);
+  EXPECT_NE(grid.find("legend"), std::string::npos);
+}
+
+TEST(Render, CombingGridMarksAlreadyCrossedPairs) {
+  // a = "ab", b = "ba": after the mismatch crossings in row 0, some pair
+  // meets again in row 1 -> at least one ')' bounce.
+  const auto grid = render_combing_grid(to_sequence("AXB"), to_sequence("BXA"));
+  EXPECT_NE(grid.find(')'), std::string::npos);
+}
+
+TEST(Render, PermutationDots) {
+  const auto text = render_permutation(Permutation::identity(3));
+  EXPECT_EQ(text, "* . .\n. * .\n. . *\n");
+}
+
+TEST(Render, KernelWiringListsAllStrands) {
+  const auto kernel = semi_local_kernel(to_sequence("AB"), to_sequence("CAB"));
+  const auto text = render_kernel_wiring(kernel);
+  EXPECT_NE(text.find("left edge"), std::string::npos);
+  EXPECT_NE(text.find("top edge"), std::string::npos);
+  EXPECT_NE(text.find("bottom edge"), std::string::npos);
+  EXPECT_NE(text.find("right edge"), std::string::npos);
+  // 5 strands -> 5 data lines + header.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace semilocal

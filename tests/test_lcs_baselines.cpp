@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lcs/aluru.hpp"
+#include "lcs/cache_oblivious.hpp"
+#include "lcs/bitparallel.hpp"
+#include "lcs/dp.hpp"
+#include "lcs/hirschberg.hpp"
+#include "lcs/prefix.hpp"
+#include "oracles.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+TEST(LcsDp, HandChecked) {
+  EXPECT_EQ(lcs_score_dp(to_sequence("ABCBDAB"), to_sequence("BDCABA")), 4);
+  EXPECT_EQ(lcs_score_dp(to_sequence("AAAA"), to_sequence("AA")), 2);
+  EXPECT_EQ(lcs_score_dp(to_sequence("ABC"), to_sequence("XYZ")), 0);
+  EXPECT_EQ(lcs_score_dp(to_sequence(""), to_sequence("XYZ")), 0);
+  EXPECT_EQ(lcs_score_dp(to_sequence("ABC"), to_sequence("")), 0);
+  EXPECT_EQ(lcs_score_dp(to_sequence("SAME"), to_sequence("SAME")), 4);
+}
+
+TEST(LcsDp, TracebackWitnessIsValidAndOptimal) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto a = testing::random_string(60, 4, seed * 2);
+    const auto b = testing::random_string(80, 4, seed * 2 + 1);
+    const auto res = lcs_with_traceback(a, b);
+    EXPECT_EQ(res.score, testing::lcs_oracle(a, b));
+    EXPECT_EQ(static_cast<Index>(res.subsequence.size()), res.score);
+    EXPECT_TRUE(is_common_subsequence(res.subsequence, a, b));
+  }
+}
+
+TEST(LcsDp, IsCommonSubsequenceRejectsNonSubsequences) {
+  const auto a = to_sequence("ABCDE");
+  const auto b = to_sequence("AXCXE");
+  EXPECT_TRUE(is_common_subsequence(to_sequence("ACE"), a, b));
+  EXPECT_FALSE(is_common_subsequence(to_sequence("AEC"), a, b));
+  EXPECT_FALSE(is_common_subsequence(to_sequence("ABB"), a, b));
+}
+
+TEST(Hirschberg, WitnessMatchesDpScore) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const auto a = testing::random_string(150, 3, seed * 3);
+    const auto b = testing::random_string(130, 3, seed * 3 + 1);
+    const auto res = lcs_hirschberg(a, b);
+    EXPECT_EQ(res.score, testing::lcs_oracle(a, b));
+    EXPECT_TRUE(is_common_subsequence(res.subsequence, a, b));
+  }
+}
+
+TEST(Hirschberg, DegenerateInputs) {
+  EXPECT_EQ(lcs_hirschberg(to_sequence(""), to_sequence("ABC")).score, 0);
+  EXPECT_EQ(lcs_hirschberg(to_sequence("A"), to_sequence("BCA")).score, 1);
+  const auto same = to_sequence("HELLO");
+  const auto res = lcs_hirschberg(same, same);
+  EXPECT_EQ(res.score, 5);
+  EXPECT_EQ(res.subsequence, same);
+}
+
+// Cross-validation sweep: every score algorithm agrees with the oracle over
+// lengths (including word-size boundaries) x alphabets x seeds.
+class LcsCross
+    : public ::testing::TestWithParam<std::tuple<Index, Index, Symbol, std::uint64_t>> {};
+
+TEST_P(LcsCross, AllScoreAlgorithmsAgree) {
+  const auto [m, n, alphabet, seed] = GetParam();
+  const auto a = testing::random_string(m, alphabet, seed * 7 + 1);
+  const auto b = testing::random_string(n, alphabet, seed * 7 + 2);
+  const Index expected = testing::lcs_oracle(a, b);
+  EXPECT_EQ(lcs_score_dp(a, b), expected);
+  EXPECT_EQ(lcs_prefix_rowmajor(a, b), expected);
+  EXPECT_EQ(lcs_prefix_antidiag(a, b, false), expected);
+  EXPECT_EQ(lcs_prefix_antidiag(a, b, true), expected);
+  EXPECT_EQ(lcs_bitparallel_crochemore(a, b), expected);
+  EXPECT_EQ(lcs_bitparallel_hyyro(a, b), expected);
+  EXPECT_EQ(lcs_prefix_scan(a, b, false), expected);
+  EXPECT_EQ(lcs_prefix_scan(a, b, true), expected);
+  EXPECT_EQ(lcs_cache_oblivious(a, b), expected);
+  EXPECT_EQ(lcs_cache_oblivious(a, b, /*base_block=*/3), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LcsCross,
+    ::testing::Combine(::testing::Values<Index>(1, 2, 63, 64, 65, 128, 200),
+                       ::testing::Values<Index>(1, 5, 64, 129, 257),
+                       ::testing::Values<Symbol>(2, 4, 20),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST(BitparallelBaselines, LongStringsMatchDp) {
+  const auto a = uniform_sequence(3000, 4, 100);
+  const auto b = uniform_sequence(2500, 4, 101);
+  const Index expected = lcs_score_dp(a, b);
+  EXPECT_EQ(lcs_bitparallel_crochemore(a, b), expected);
+  EXPECT_EQ(lcs_bitparallel_hyyro(a, b), expected);
+}
+
+TEST(BitparallelBaselines, EmptyInputs) {
+  EXPECT_EQ(lcs_bitparallel_crochemore(Sequence{}, Sequence{1, 2}), 0);
+  EXPECT_EQ(lcs_bitparallel_hyyro(Sequence{1}, Sequence{}), 0);
+}
+
+TEST(MatchMasks, MarksOccurrences) {
+  const auto a = to_sequence("ABAB");
+  const MatchMasks masks(a);
+  EXPECT_EQ(masks.length(), 4);
+  EXPECT_EQ(masks.mask('A')[0], 0b0101u);
+  EXPECT_EQ(masks.mask('B')[0], 0b1010u);
+  EXPECT_EQ(masks.mask('Z')[0], 0u);
+}
+
+TEST(PrefixLcs, IdenticalAndDisjoint) {
+  const auto a = uniform_sequence(500, 3, 5);
+  EXPECT_EQ(lcs_prefix_rowmajor(a, a), 500);
+  EXPECT_EQ(lcs_prefix_antidiag(a, a, false), 500);
+  Sequence c(400, 7);
+  Sequence d(300, 8);
+  EXPECT_EQ(lcs_prefix_rowmajor(c, d), 0);
+  EXPECT_EQ(lcs_prefix_antidiag(c, d, true), 0);
+}
+
+
+TEST(CacheOblivious, BaseBlockSizesAllAgree) {
+  const auto a = uniform_sequence(517, 4, 200);
+  const auto b = uniform_sequence(389, 4, 201);
+  const Index expected = lcs_score_dp(a, b);
+  for (const Index block : {1, 2, 7, 16, 100, 1000}) {
+    EXPECT_EQ(lcs_cache_oblivious(a, b, block), expected) << "block " << block;
+  }
+  EXPECT_THROW((void)lcs_cache_oblivious(a, b, 0), std::invalid_argument);
+}
+
+TEST(CacheOblivious, DegenerateShapes) {
+  EXPECT_EQ(lcs_cache_oblivious(Sequence{}, Sequence{1, 2}), 0);
+  EXPECT_EQ(lcs_cache_oblivious(Sequence{1}, Sequence{1}), 1);
+  const auto a = uniform_sequence(200, 2, 202);
+  EXPECT_EQ(lcs_cache_oblivious(a, a, 8), 200);
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,100 @@
+#include "braid/monge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "braid/permutation.hpp"
+
+namespace semilocal {
+namespace {
+
+TEST(DistributionMatrix, IdentitySmall) {
+  const auto sigma = distribution_matrix(Permutation::identity(2));
+  // sigma(i,j) = |{k : i <= k < j}|.
+  EXPECT_EQ(sigma.at(0, 0), 0);
+  EXPECT_EQ(sigma.at(0, 1), 1);
+  EXPECT_EQ(sigma.at(0, 2), 2);
+  EXPECT_EQ(sigma.at(1, 1), 0);
+  EXPECT_EQ(sigma.at(1, 2), 1);
+  EXPECT_EQ(sigma.at(2, 2), 0);
+}
+
+TEST(DistributionMatrix, MatchesDominanceSum) {
+  const auto p = Permutation::random(23, 5);
+  const auto sigma = distribution_matrix(p);
+  for (Index i = 0; i <= 23; ++i) {
+    for (Index j = 0; j <= 23; ++j) {
+      EXPECT_EQ(sigma.at(i, j), p.dominance_sum(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(DistributionMatrix, IsUnitMongeAndMonge) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto sigma = distribution_matrix(Permutation::random(17, seed));
+    EXPECT_TRUE(is_unit_monge_distribution(sigma));
+    EXPECT_TRUE(is_monge(sigma));
+  }
+}
+
+TEST(DistributionMatrix, RoundTripsThroughExtraction) {
+  const auto p = Permutation::random(40, 77);
+  EXPECT_EQ(permutation_from_distribution(distribution_matrix(p)), p);
+}
+
+TEST(IsUnitMonge, RejectsCorruptedMatrix) {
+  auto sigma = distribution_matrix(Permutation::random(9, 3));
+  sigma.at(4, 5) += 1;
+  EXPECT_FALSE(is_unit_monge_distribution(sigma));
+}
+
+TEST(MinPlus, IdentityIsNeutralElement) {
+  const auto id = Permutation::identity(12);
+  const auto p = Permutation::random(12, 9);
+  EXPECT_EQ(multiply_naive(id, p), p);
+  EXPECT_EQ(multiply_naive(p, id), p);
+}
+
+TEST(MinPlus, ReversalIsIdempotentUnderStickyProduct) {
+  // Sticky braids: a pair of strands crosses at most once, so squaring the
+  // full reversal leaves it unchanged.
+  const auto rev = Permutation::reversal(9);
+  EXPECT_EQ(multiply_naive(rev, rev), rev);
+}
+
+TEST(MinPlus, ProductStaysUnitMonge) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto p = Permutation::random(15, seed * 2);
+    const auto q = Permutation::random(15, seed * 2 + 1);
+    const auto r = multiply_naive(p, q);
+    EXPECT_TRUE(r.is_complete());
+    EXPECT_TRUE(is_unit_monge_distribution(distribution_matrix(r)));
+  }
+}
+
+TEST(MinPlus, NaiveProductIsAssociative) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto p = Permutation::random(11, 3 * seed);
+    const auto q = Permutation::random(11, 3 * seed + 1);
+    const auto r = Permutation::random(11, 3 * seed + 2);
+    EXPECT_EQ(multiply_naive(multiply_naive(p, q), r),
+              multiply_naive(p, multiply_naive(q, r)));
+  }
+}
+
+TEST(MinPlus, ThrowsOnOrderMismatch) {
+  EXPECT_THROW(multiply_naive(Permutation::identity(3), Permutation::identity(4)),
+               std::invalid_argument);
+}
+
+TEST(DenseMatrix, StoresAndCompares) {
+  DenseMatrix a(2, 3, 7);
+  EXPECT_EQ(a.at(1, 2), 7);
+  a.at(1, 2) = 9;
+  DenseMatrix b(2, 3, 7);
+  EXPECT_NE(a, b);
+  b.at(1, 2) = 9;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,101 @@
+#include "braid/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace semilocal {
+namespace {
+
+TEST(Permutation, EmptyOrderZero) {
+  Permutation p(0);
+  EXPECT_EQ(p.size(), 0);
+  EXPECT_TRUE(p.is_complete());
+  EXPECT_TRUE(p.nonzeros().empty());
+}
+
+TEST(Permutation, IdentityMapsEveryIndexToItself) {
+  const auto p = Permutation::identity(7);
+  ASSERT_EQ(p.size(), 7);
+  EXPECT_TRUE(p.is_complete());
+  for (Index i = 0; i < 7; ++i) {
+    EXPECT_EQ(p.col_of(i), i);
+    EXPECT_EQ(p.row_of(i), i);
+  }
+}
+
+TEST(Permutation, ReversalCrossesEveryPair) {
+  const auto p = Permutation::reversal(5);
+  EXPECT_TRUE(p.is_complete());
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(p.col_of(i), 4 - i);
+}
+
+TEST(Permutation, FreshIsIncomplete) {
+  Permutation p(3);
+  EXPECT_FALSE(p.is_complete());
+  p.set(0, 1);
+  EXPECT_FALSE(p.is_complete());
+  p.set(1, 2);
+  p.set(2, 0);
+  EXPECT_TRUE(p.is_complete());
+}
+
+TEST(Permutation, FromRowToColValidates) {
+  EXPECT_NO_THROW(Permutation::from_row_to_col({2, 0, 1}));
+  EXPECT_THROW(Permutation::from_row_to_col({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_row_to_col({0, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_row_to_col({0, -1, 1}), std::invalid_argument);
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  const auto p = Permutation::random(64, 123);
+  const auto inv = p.inverse();
+  EXPECT_TRUE(inv.is_complete());
+  for (Index i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(inv.col_of(p.col_of(i)), i);
+  }
+  EXPECT_EQ(inv.inverse(), p);
+}
+
+TEST(Permutation, Rotate180IsAnInvolution) {
+  const auto p = Permutation::random(33, 7);
+  const auto r = p.rotate180();
+  EXPECT_TRUE(r.is_complete());
+  for (Index i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(r.col_of(32 - i), 32 - p.col_of(i));
+  }
+  EXPECT_EQ(r.rotate180(), p);
+}
+
+TEST(Permutation, RandomIsCompleteAndSeedDeterministic) {
+  const auto p = Permutation::random(100, 42);
+  const auto q = Permutation::random(100, 42);
+  const auto r = Permutation::random(100, 43);
+  EXPECT_TRUE(p.is_complete());
+  EXPECT_EQ(p, q);
+  EXPECT_NE(p, r);
+}
+
+TEST(Permutation, DominanceSumCountsLowerLeft) {
+  // Nonzeros: (0,2), (1,0), (2,1).
+  const auto p = Permutation::from_row_to_col({2, 0, 1});
+  EXPECT_EQ(p.dominance_sum(0, 0), 0);
+  EXPECT_EQ(p.dominance_sum(0, 3), 3);
+  EXPECT_EQ(p.dominance_sum(1, 2), 2);   // (1,0) and (2,1)
+  EXPECT_EQ(p.dominance_sum(2, 2), 1);   // (2,1)
+  EXPECT_EQ(p.dominance_sum(3, 3), 0);
+  EXPECT_EQ(p.dominance_sum(0, 1), 1);   // (1,0)
+}
+
+TEST(Permutation, NonzerosEnumeratesInRowOrder) {
+  const auto p = Permutation::from_row_to_col({1, 2, 0});
+  const auto nz = p.nonzeros();
+  ASSERT_EQ(nz.size(), 3u);
+  EXPECT_EQ(nz[0], (std::pair<Index, Index>{0, 1}));
+  EXPECT_EQ(nz[1], (std::pair<Index, Index>{1, 2}));
+  EXPECT_EQ(nz[2], (std::pair<Index, Index>{2, 0}));
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,95 @@
+#include "braid/precalc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "braid/monge.hpp"
+#include "braid/permutation.hpp"
+
+namespace semilocal {
+namespace {
+
+std::vector<std::int32_t> iota_perm(Index n) {
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(SmallProductTable, EncodeDecodeRoundTrip) {
+  const std::vector<std::int32_t> perm = {3, 0, 4, 1, 2};
+  const auto code = SmallProductTable::encode(perm);
+  std::vector<std::int32_t> decoded(5);
+  SmallProductTable::decode(code, decoded);
+  EXPECT_EQ(decoded, perm);
+}
+
+TEST(SmallProductTable, RankIsLexicographic) {
+  EXPECT_EQ(SmallProductTable::rank(std::vector<std::int32_t>{0, 1, 2}), 0u);
+  EXPECT_EQ(SmallProductTable::rank(std::vector<std::int32_t>{0, 2, 1}), 1u);
+  EXPECT_EQ(SmallProductTable::rank(std::vector<std::int32_t>{2, 1, 0}), 5u);
+}
+
+TEST(SmallProductTable, RankIsABijectionPerOrder) {
+  // Spot-check order 4: all 24 permutations must get distinct ranks < 24.
+  std::vector<bool> seen(24, false);
+  std::vector<std::int32_t> p = iota_perm(4);
+  do {
+    const auto r = SmallProductTable::rank(p);
+    ASSERT_LT(r, 24u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  } while (std::next_permutation(p.begin(), p.end()));
+}
+
+TEST(SmallProductTable, MatchesNaiveOnAllPairsOrder3) {
+  const auto& table = SmallProductTable::instance();
+  std::vector<std::int32_t> p = iota_perm(3);
+  do {
+    std::vector<std::int32_t> q = iota_perm(3);
+    do {
+      std::vector<std::int32_t> out(3);
+      table.multiply(p, q, out);
+      const auto expected = multiply_naive(Permutation::from_row_to_col(p),
+                                           Permutation::from_row_to_col(q));
+      EXPECT_EQ(Permutation::from_row_to_col(out), expected);
+    } while (std::next_permutation(q.begin(), q.end()));
+  } while (std::next_permutation(p.begin(), p.end()));
+}
+
+TEST(SmallProductTable, MatchesNaiveOnSampledPairsOrder5) {
+  const auto& table = SmallProductTable::instance();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto p = Permutation::random(5, 2 * seed);
+    const auto q = Permutation::random(5, 2 * seed + 1);
+    std::vector<std::int32_t> out(5);
+    table.multiply(p.row_to_col(), q.row_to_col(), out);
+    EXPECT_EQ(Permutation::from_row_to_col(out), multiply_naive(p, q));
+  }
+}
+
+TEST(SmallProductTable, SupportsAliasedOutput) {
+  // The pooled steady ant writes the product over the first operand.
+  const auto& table = SmallProductTable::instance();
+  std::vector<std::int32_t> p = {1, 3, 0, 2};
+  const std::vector<std::int32_t> p_copy = p;
+  std::vector<std::int32_t> q = {2, 0, 3, 1};
+  table.multiply(p, q, p);
+  const auto expected = multiply_naive(Permutation::from_row_to_col(p_copy),
+                                       Permutation::from_row_to_col(q));
+  EXPECT_EQ(Permutation::from_row_to_col(p), expected);
+}
+
+TEST(SmallProductTable, IdentityTimesIdentity) {
+  const auto& table = SmallProductTable::instance();
+  for (Index n = 1; n <= SmallProductTable::kMaxOrder; ++n) {
+    const auto id = iota_perm(n);
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+    table.multiply(id, id, out);
+    EXPECT_EQ(out, id);
+  }
+}
+
+}  // namespace
+}  // namespace semilocal

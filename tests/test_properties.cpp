@@ -1,0 +1,191 @@
+// Property-based tests: structural invariants that must hold for *every*
+// input, checked on sizes well beyond what the brute-force oracles can
+// afford. These complement the definition-level tests in test_kernel.cpp.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "braid/monge.hpp"
+#include "braid/steady_ant.hpp"
+#include "core/api.hpp"
+#include "core/incremental.hpp"
+#include "lcs/dp.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+// --- Sticky braid algebra ---------------------------------------------------
+
+class BraidAlgebra : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
+
+TEST_P(BraidAlgebra, ReversalIsAbsorbing) {
+  // In a reduced braid every pair crosses at most once; the full reversal
+  // has every pair crossed, so it absorbs under the sticky product.
+  const auto [n, seed] = GetParam();
+  const auto p = Permutation::random(n, seed);
+  const auto rev = Permutation::reversal(n);
+  EXPECT_EQ(multiply_combined(rev, p), rev);
+  EXPECT_EQ(multiply_combined(p, rev), rev);
+}
+
+TEST_P(BraidAlgebra, ProductIsIdempotentOnItsOwnSquareClosure) {
+  // p (.) p need not equal p, but the sequence p, p^2, p^4, ... must reach
+  // a fixed point (crossings only accumulate, bounded by n(n-1)/2).
+  const auto [n, seed] = GetParam();
+  Permutation x = Permutation::random(n, seed + 100);
+  for (int iter = 0; iter < 64; ++iter) {
+    Permutation next = multiply_combined(x, x);
+    if (next == x) break;
+    x = std::move(next);
+  }
+  EXPECT_EQ(multiply_combined(x, x), x) << "no fixed point reached";
+}
+
+TEST_P(BraidAlgebra, InversionCountNeverDecreasesUnderProduct) {
+  const auto [n, seed] = GetParam();
+  const auto p = Permutation::random(n, seed * 3 + 1);
+  const auto q = Permutation::random(n, seed * 3 + 2);
+  const auto r = multiply_combined(p, q);
+  const auto inversions = [](const Permutation& perm) {
+    Index count = 0;
+    for (Index i = 0; i < perm.size(); ++i) {
+      for (Index j = i + 1; j < perm.size(); ++j) {
+        count += perm.col_of(i) > perm.col_of(j);
+      }
+    }
+    return count;
+  };
+  // Crossings (inversions) of each factor are a lower bound for the product.
+  EXPECT_GE(inversions(r), std::max(inversions(p), inversions(q)) - 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BraidAlgebra,
+                         ::testing::Combine(::testing::Values<Index>(2, 9, 33, 128),
+                                            ::testing::Values<std::uint64_t>(1, 2, 7)));
+
+TEST(BraidAlgebra, LargeProductsStayPermutations) {
+  for (const Index n : {100000, 250000}) {
+    const auto p = Permutation::random(n, 1);
+    const auto q = Permutation::random(n, 2);
+    const auto r = multiply_combined(p, q);
+    EXPECT_TRUE(r.is_complete());
+    EXPECT_EQ(multiply_parallel(p, q, 3), r);
+  }
+}
+
+// --- H-matrix structure -----------------------------------------------------
+
+class HMatrixStructure
+    : public ::testing::TestWithParam<std::tuple<Index, Index, double, std::uint64_t>> {};
+
+TEST_P(HMatrixStructure, RowAndColumnLipschitzAndAntiMonge) {
+  const auto [m, n, sigma, seed] = GetParam();
+  const auto a = rounded_normal_sequence(m, sigma, seed * 2 + 1);
+  const auto b = rounded_normal_sequence(n, sigma, seed * 2 + 2);
+  const auto kernel = semi_local_kernel(a, b);
+  const auto h = kernel.to_h_matrix();
+  for (Index i = 0; i <= m + n; ++i) {
+    for (Index j = 0; j < m + n; ++j) {
+      const Index dj = h.at(i, j + 1) - h.at(i, j);
+      EXPECT_TRUE(dj == 0 || dj == 1) << "H must grow by 0/1 along rows";
+    }
+  }
+  for (Index i = 0; i < m + n; ++i) {
+    for (Index j = 0; j <= m + n; ++j) {
+      const Index di = h.at(i + 1, j) - h.at(i, j);
+      EXPECT_TRUE(di == 0 || di == -1) << "H must fall by 0/1 along columns";
+    }
+  }
+  // Anti-Monge: H(i,j) + H(i+1,j+1) >= H(i+1,j) + H(i,j+1), with the
+  // deficiency being exactly the kernel nonzero indicator.
+  for (Index i = 0; i < m + n; ++i) {
+    for (Index j = 0; j < m + n; ++j) {
+      const Index cross =
+          h.at(i, j) + h.at(i + 1, j + 1) - h.at(i + 1, j) - h.at(i, j + 1);
+      EXPECT_TRUE(cross == 0 || cross == 1);
+      EXPECT_EQ(cross == 1, kernel.permutation().col_of(i) == j);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HMatrixStructure,
+    ::testing::Combine(::testing::Values<Index>(5, 16, 40), ::testing::Values<Index>(7, 24),
+                       ::testing::Values(0.5, 2.0), ::testing::Values<std::uint64_t>(1, 2)));
+
+// --- Cross-strategy score agreement at sizes past the oracle -----------------
+
+class ScoreAgreement
+    : public ::testing::TestWithParam<std::tuple<Index, double, std::uint64_t>> {};
+
+TEST_P(ScoreAgreement, KernelScoresEqualDpAtScale) {
+  const auto [n, sigma, seed] = GetParam();
+  const auto a = rounded_normal_sequence(n, sigma, seed * 5 + 1);
+  const auto b = rounded_normal_sequence(n + n / 3, sigma, seed * 5 + 2);
+  const Index expected = lcs_score_dp(a, b);
+  for (const Strategy s : {Strategy::kAntidiagSimd, Strategy::kLoadBalanced,
+                           Strategy::kHybrid, Strategy::kHybridTiled}) {
+    EXPECT_EQ(lcs_semilocal(a, b, {.strategy = s, .parallel = true, .depth = 3}), expected)
+        << strategy_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScoreAgreement,
+                         ::testing::Combine(::testing::Values<Index>(500, 1500, 3000),
+                                            ::testing::Values(1.0, 16.0),
+                                            ::testing::Values<std::uint64_t>(1, 2)));
+
+// --- Composition as an algebra ----------------------------------------------
+
+TEST(CompositionProperties, AssociativityOfHorizontalComposition) {
+  const auto b = uniform_sequence(30, 3, 1);
+  const auto a1 = uniform_sequence(11, 3, 2);
+  const auto a2 = uniform_sequence(7, 3, 3);
+  const auto a3 = uniform_sequence(16, 3, 4);
+  const auto k1 = comb_antidiag(a1, b);
+  const auto k2 = comb_antidiag(a2, b);
+  const auto k3 = comb_antidiag(a3, b);
+  const auto left = compose_horizontal(compose_horizontal(k1, k2), k3);
+  const auto right = compose_horizontal(k1, compose_horizontal(k2, k3));
+  EXPECT_EQ(left.permutation(), right.permutation());
+}
+
+TEST(CompositionProperties, EmptyStringIsNeutral) {
+  const auto a = uniform_sequence(20, 3, 5);
+  const auto b = uniform_sequence(25, 3, 6);
+  const auto k = comb_antidiag(a, b);
+  const auto empty = comb_antidiag(Sequence{}, b);
+  EXPECT_EQ(compose_horizontal(empty, k).permutation(), k.permutation());
+  EXPECT_EQ(compose_horizontal(k, empty).permutation(), k.permutation());
+}
+
+TEST(CompositionProperties, RandomChunkingsAllAgree) {
+  const auto a = uniform_sequence(60, 4, 7);
+  const auto b = uniform_sequence(45, 4, 8);
+  const auto direct = comb_antidiag(a, b);
+  const SequenceView va{a};
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    IncrementalKernel inc(SequenceView{}, SequenceView{b});
+    std::size_t pos = 0;
+    while (pos < va.size()) {
+      const auto len = static_cast<std::size_t>(
+          rng.uniform(1, static_cast<Index>(va.size() - pos)));
+      inc.append_a(va.subspan(pos, len));
+      pos += len;
+    }
+    EXPECT_EQ(inc.kernel().permutation(), direct.permutation()) << "trial " << trial;
+  }
+}
+
+TEST(CompositionProperties, DoubleFlipIsIdentity) {
+  const auto a = uniform_sequence(13, 3, 9);
+  const auto b = uniform_sequence(21, 3, 10);
+  const auto k = comb_antidiag(a, b);
+  EXPECT_EQ(k.flipped().flipped().permutation(), k.permutation());
+  EXPECT_EQ(k.flipped().flipped().m(), k.m());
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,123 @@
+#include "braid/steady_ant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "braid/memory_pool.hpp"
+#include "braid/monge.hpp"
+#include "braid/permutation.hpp"
+
+namespace semilocal {
+namespace {
+
+TEST(SteadyAnt, TrivialOrders) {
+  EXPECT_EQ(multiply_base(Permutation::identity(0), Permutation::identity(0)).size(), 0);
+  EXPECT_EQ(multiply_base(Permutation::identity(1), Permutation::identity(1)),
+            Permutation::identity(1));
+}
+
+TEST(SteadyAnt, HandCheckedOrderTwo) {
+  const auto id = Permutation::identity(2);
+  const auto swap = Permutation::reversal(2);
+  EXPECT_EQ(multiply_base(id, id), id);
+  EXPECT_EQ(multiply_base(id, swap), swap);
+  EXPECT_EQ(multiply_base(swap, id), swap);
+  // Sticky: strands cross at most once, so swap . swap == swap.
+  EXPECT_EQ(multiply_base(swap, swap), swap);
+}
+
+TEST(SteadyAnt, IdentityIsNeutral) {
+  const auto p = Permutation::random(257, 11);
+  const auto id = Permutation::identity(257);
+  EXPECT_EQ(multiply_base(id, p), p);
+  EXPECT_EQ(multiply_base(p, id), p);
+}
+
+// The central correctness sweep: every variant must agree with the O(n^3)
+// (min,+) oracle across sizes (odd, even, powers of two) and seeds.
+class SteadyAntOracle : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
+
+TEST_P(SteadyAntOracle, AllVariantsMatchNaive) {
+  const auto [n, seed] = GetParam();
+  const auto p = Permutation::random(n, seed * 2 + 1);
+  const auto q = Permutation::random(n, seed * 2 + 2);
+  const auto expected = multiply_naive(p, q);
+  EXPECT_EQ(multiply_base(p, q), expected) << "base variant, n=" << n;
+  EXPECT_EQ(multiply_precalc(p, q), expected) << "precalc variant, n=" << n;
+  EXPECT_EQ(multiply_memory(p, q), expected) << "memory variant, n=" << n;
+  EXPECT_EQ(multiply_combined(p, q), expected) << "combined variant, n=" << n;
+  EXPECT_EQ(multiply_parallel(p, q, 2), expected) << "parallel variant, n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, SteadyAntOracle,
+    ::testing::Combine(::testing::Values<Index>(2, 3, 4, 5, 6, 7, 8, 13, 16, 31, 32, 33, 64, 100, 127),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(SteadyAnt, LargeRandomAllVariantsAgree) {
+  const auto p = Permutation::random(4096, 5);
+  const auto q = Permutation::random(4096, 6);
+  const auto base = multiply_base(p, q);
+  EXPECT_TRUE(base.is_complete());
+  EXPECT_EQ(multiply_precalc(p, q), base);
+  EXPECT_EQ(multiply_memory(p, q), base);
+  EXPECT_EQ(multiply_combined(p, q), base);
+  for (int depth : {1, 3, 6}) {
+    EXPECT_EQ(multiply_parallel(p, q, depth), base) << "parallel depth " << depth;
+  }
+}
+
+TEST(SteadyAnt, FastProductIsAssociative) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto p = Permutation::random(200, 3 * seed);
+    const auto q = Permutation::random(200, 3 * seed + 1);
+    const auto r = Permutation::random(200, 3 * seed + 2);
+    EXPECT_EQ(multiply_combined(multiply_combined(p, q), r),
+              multiply_combined(p, multiply_combined(q, r)));
+  }
+}
+
+TEST(SteadyAnt, ThrowsOnOrderMismatch) {
+  EXPECT_THROW(multiply_base(Permutation::identity(4), Permutation::identity(5)),
+               std::invalid_argument);
+}
+
+TEST(SteadyAnt, ArenaRequirementCoversSequentialUse) {
+  // The requirement bound must be monotone and linear-ish in n.
+  const auto r1 = steady_ant_arena_requirement(1 << 10, 0);
+  const auto r2 = steady_ant_arena_requirement(1 << 11, 0);
+  EXPECT_GT(r2, r1);
+  EXPECT_LT(r2, 16u * (1 << 11));
+}
+
+TEST(Arena, StackDiscipline) {
+  ArenaStorage storage(64);
+  Arena arena = storage.arena();
+  const auto m0 = arena.mark();
+  auto a = arena.alloc(16);
+  EXPECT_EQ(a.size(), 16u);
+  auto b = arena.alloc(16);
+  b[0] = 42;
+  EXPECT_EQ(arena.used(), 32u);
+  arena.release(m0);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_THROW(arena.alloc(65), std::logic_error);
+}
+
+TEST(Arena, CarveCreatesDisjointRegions) {
+  ArenaStorage storage(64);
+  Arena arena = storage.arena();
+  Arena a = arena.carve(32);
+  Arena b = arena.carve(32);
+  auto sa = a.alloc(32);
+  auto sb = b.alloc(32);
+  sa[31] = 1;
+  sb[0] = 2;
+  EXPECT_EQ(sa[31], 1);
+  EXPECT_EQ(sb[0], 2);
+  EXPECT_THROW(arena.carve(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -1,0 +1,52 @@
+// CSV escaping and file output of the bench reporting table.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace semilocal {
+namespace {
+
+std::string write_and_read(Table& t) {
+  const auto path = std::filesystem::temp_directory_path() / "semilocal_table_test.csv";
+  t.write_csv(path.string());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::filesystem::remove(path);
+  return buffer.str();
+}
+
+TEST(TableCsv, PlainValues) {
+  Table t({"algo", "n"});
+  t.row().cell("hybrid").cell(12LL);
+  EXPECT_EQ(write_and_read(t), "algo,n\nhybrid,12\n");
+}
+
+TEST(TableCsv, QuotesCommasAndQuotes) {
+  Table t({"label", "value"});
+  t.row().cell("a,b").cell("say \"hi\"");
+  EXPECT_EQ(write_and_read(t), "label,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableCsv, QuotesEmbeddedNewlines) {
+  Table t({"x"});
+  t.row().cell("line1\nline2");
+  EXPECT_EQ(write_and_read(t), "x\n\"line1\nline2\"\n");
+}
+
+TEST(TableCsv, WriteFailureThrows) {
+  Table t({"x"});
+  t.row().cell("v");
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_zzz/out.csv"), std::runtime_error);
+}
+
+TEST(TableCsv, HeaderValidation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semilocal

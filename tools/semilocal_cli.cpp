@@ -1,0 +1,192 @@
+// semilocal_cli -- command-line front end to the library.
+//
+// Subcommands:
+//   compare <a.fasta> <b.fasta> [--algorithm NAME] [--parallel]
+//           [--profile WIDTH] [--save-kernel PATH]
+//       Compares the first record of each file: global LCS, identity, indel
+//       distance; optional window-identity profile; optional kernel dump.
+//   query <kernel.bin> <kind> <x> <y>
+//       Answers one semi-local query from a saved kernel. kind is one of
+//       string-substring | substring-string | prefix-suffix | suffix-prefix | h.
+//   generate [--length N] [--gc FRAC] [--pair] [--seed S] [--out PATH]
+//       Emits synthetic genome FASTA (one record, or a related pair).
+//   dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]
+//       ASCII similarity dotplot between the two sequences.
+//   braid <stringA> <stringB>
+//       Renders the combing grid, the kernel matrix and the strand wiring
+//       (small inputs; teaching/debugging aid).
+#include <iostream>
+#include <fstream>
+
+#include "align/distance.hpp"
+#include "search/dotplot.hpp"
+#include "core/api.hpp"
+#include "core/braid_render.hpp"
+#include "core/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/fasta.hpp"
+#include "util/timer.hpp"
+
+using namespace semilocal;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: semilocal_cli <command> ...\n"
+      "  compare <a.fasta> <b.fasta> [--algorithm antidiag|hybrid|tiled|recursive]\n"
+      "          [--parallel] [--profile WIDTH] [--save-kernel PATH]\n"
+      "  query <kernel.bin> <kind> <x> <y>   (kind: string-substring, substring-string,\n"
+      "                                       prefix-suffix, suffix-prefix, h)\n"
+      "  generate [--length N] [--gc F] [--pair] [--seed S] [--out PATH]\n"
+      "  dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]\n"
+      "  braid <stringA> <stringB>\n";
+  return 2;
+}
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "antidiag") return Strategy::kAntidiagSimd;
+  if (name == "hybrid") return Strategy::kHybrid;
+  if (name == "tiled") return Strategy::kHybridTiled;
+  if (name == "recursive") return Strategy::kRecursive;
+  if (name == "rowmajor") return Strategy::kRowMajor;
+  if (name == "loadbalanced") return Strategy::kLoadBalanced;
+  throw std::invalid_argument("unknown --algorithm '" + name + "'");
+}
+
+Sequence first_record(const std::string& path, std::string& id) {
+  const auto records = read_fasta_file(path);
+  if (records.empty()) throw std::runtime_error(path + ": no FASTA records");
+  id = records.front().id;
+  return pack_dna(records.front().residues);
+}
+
+int cmd_compare(const CliArgs& args) {
+  if (args.positional().size() != 2) return usage();
+  std::string id_a;
+  std::string id_b;
+  const Sequence a = first_record(args.positional()[0], id_a);
+  const Sequence b = first_record(args.positional()[1], id_b);
+  const Strategy strategy = parse_strategy(args.option_or("algorithm", "tiled"));
+  const bool parallel = args.has_flag("parallel");
+  std::cout << id_a << ": " << a.size() << " bp, " << id_b << ": " << b.size() << " bp\n";
+  Timer t;
+  const auto kernel = semi_local_kernel(a, b, {.strategy = strategy, .parallel = parallel});
+  std::cout << "kernel (" << strategy_name(strategy) << (parallel ? ", parallel" : "")
+            << ") in " << t.seconds() << " s\n";
+  const Index lcs = kernel.lcs();
+  const auto longer = static_cast<double>(std::max(a.size(), b.size()));
+  std::cout << "LCS = " << lcs << "  identity = " << 100.0 * static_cast<double>(lcs) / longer
+            << "%  indel distance = "
+            << static_cast<Index>(a.size()) + static_cast<Index>(b.size()) - 2 * lcs << "\n";
+  const Index width = args.int_option_or("profile", 0);
+  if (width > 0) {
+    if (width > kernel.n()) throw std::invalid_argument("--profile wider than |b|");
+    std::cout << "\nwindow profile (width " << width << "):\n";
+    const Index step = std::max<Index>(1, width / 2);
+    for (Index j0 = 0; j0 + width <= kernel.n(); j0 += step) {
+      const Index s = kernel.string_substring(j0, j0 + width);
+      std::cout << "  b[" << j0 << ", " << j0 + width << "): LCS " << s << " ("
+                << 100.0 * static_cast<double>(s) / static_cast<double>(width) << "%)\n";
+    }
+  }
+  if (const auto path = args.option("save-kernel")) {
+    save_kernel_file(*path, kernel);
+    std::cout << "kernel saved to " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(const CliArgs& args) {
+  if (args.positional().size() != 4) return usage();
+  const auto kernel = load_kernel_file(args.positional()[0]);
+  const std::string kind = args.positional()[1];
+  const Index x = std::stoll(args.positional()[2]);
+  const Index y = std::stoll(args.positional()[3]);
+  Index answer = 0;
+  if (kind == "string-substring") answer = kernel.string_substring(x, y);
+  else if (kind == "substring-string") answer = kernel.substring_string(x, y);
+  else if (kind == "prefix-suffix") answer = kernel.prefix_suffix(x, y);
+  else if (kind == "suffix-prefix") answer = kernel.suffix_prefix(x, y);
+  else if (kind == "h") answer = kernel.h(x, y);
+  else return usage();
+  std::cout << answer << "\n";
+  return 0;
+}
+
+int cmd_generate(const CliArgs& args) {
+  GenomeModel model;
+  model.length = args.int_option_or("length", 30000);
+  model.gc_content = args.double_option_or("gc", 0.41);
+  const auto seed = static_cast<std::uint64_t>(args.int_option_or("seed", 42));
+  std::vector<FastaRecord> records;
+  if (args.has_flag("pair")) {
+    MutationModel mutations;
+    auto [ga, gb] = generate_genome_pair(model, mutations, seed);
+    records.push_back(std::move(ga));
+    records.push_back(std::move(gb));
+  } else {
+    records.push_back(generate_genome(model, seed));
+  }
+  const std::string out_path = args.option_or("out", "-");
+  if (out_path == "-") {
+    write_fasta(std::cout, records);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open " + out_path);
+    write_fasta(out, records);
+    std::cout << "wrote " << records.size() << " record(s) to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_dotplot(const CliArgs& args) {
+  if (args.positional().size() != 2) return usage();
+  std::string id_a;
+  std::string id_b;
+  const Sequence a = first_record(args.positional()[0], id_a);
+  const Sequence b = first_record(args.positional()[1], id_b);
+  const Index rows = args.int_option_or("rows", 32);
+  const Index cols = args.int_option_or("cols", 64);
+  Timer t;
+  const auto plot = compute_dotplot(a, b, rows, cols, {}, /*parallel=*/true);
+  std::cout << id_a << " (rows) vs " << id_b << " (cols), computed in " << t.seconds()
+            << " s\n";
+  std::cout << render_dotplot(plot);
+  return 0;
+}
+
+int cmd_braid(const CliArgs& args) {
+  if (args.positional().size() != 2) return usage();
+  const Sequence a = to_sequence(args.positional()[0]);
+  const Sequence b = to_sequence(args.positional()[1]);
+  if (a.size() > 40 || b.size() > 40) {
+    throw std::invalid_argument("braid rendering is for strings up to length 40");
+  }
+  const auto kernel = semi_local_kernel(a, b, {.strategy = Strategy::kRowMajor});
+  std::cout << "combing decisions:\n" << render_combing_grid(a, b) << "\n";
+  std::cout << "kernel permutation P_{a,b} (order " << kernel.order() << "):\n"
+            << render_permutation(kernel.permutation()) << "\n";
+  std::cout << render_kernel_wiring(kernel) << "\n";
+  std::cout << "LCS(a, b) = " << kernel.lcs() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv, 2, {"parallel", "pair"});
+    if (command == "compare") return cmd_compare(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "dotplot") return cmd_dotplot(args);
+    if (command == "braid") return cmd_braid(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "semilocal_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
