@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_braid_opts.dir/bench_fig4a_braid_opts.cpp.o"
+  "CMakeFiles/bench_fig4a_braid_opts.dir/bench_fig4a_braid_opts.cpp.o.d"
+  "bench_fig4a_braid_opts"
+  "bench_fig4a_braid_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_braid_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_parallel_ant.dir/bench_fig4b_parallel_ant.cpp.o"
+  "CMakeFiles/bench_fig4b_parallel_ant.dir/bench_fig4b_parallel_ant.cpp.o.d"
+  "bench_fig4b_parallel_ant"
+  "bench_fig4b_parallel_ant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_parallel_ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

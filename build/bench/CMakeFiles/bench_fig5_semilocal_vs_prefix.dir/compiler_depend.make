@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_semilocal_vs_prefix.
+# This may be replaced when dependencies are built.

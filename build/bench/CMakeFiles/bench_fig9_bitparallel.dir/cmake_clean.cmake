@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bitparallel.dir/bench_fig9_bitparallel.cpp.o"
+  "CMakeFiles/bench_fig9_bitparallel.dir/bench_fig9_bitparallel.cpp.o.d"
+  "bench_fig9_bitparallel"
+  "bench_fig9_bitparallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bitparallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

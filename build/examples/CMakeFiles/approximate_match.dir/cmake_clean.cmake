@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_match.dir/approximate_match.cpp.o"
+  "CMakeFiles/approximate_match.dir/approximate_match.cpp.o.d"
+  "approximate_match"
+  "approximate_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assembly_overlaps.dir/assembly_overlaps.cpp.o"
+  "CMakeFiles/assembly_overlaps.dir/assembly_overlaps.cpp.o.d"
+  "assembly_overlaps"
+  "assembly_overlaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assembly_overlaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylogeny.dir/phylogeny.cpp.o"
+  "CMakeFiles/phylogeny.dir/phylogeny.cpp.o.d"
+  "phylogeny"
+  "phylogeny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylogeny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

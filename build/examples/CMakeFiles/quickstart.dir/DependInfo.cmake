@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semilocal_bitlcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_lcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_dominance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_braid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

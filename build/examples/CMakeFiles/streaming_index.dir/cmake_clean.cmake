@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_index.dir/streaming_index.cpp.o"
+  "CMakeFiles/streaming_index.dir/streaming_index.cpp.o.d"
+  "streaming_index"
+  "streaming_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

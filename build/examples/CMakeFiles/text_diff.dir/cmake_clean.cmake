@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_diff.dir/text_diff.cpp.o"
+  "CMakeFiles/text_diff.dir/text_diff.cpp.o.d"
+  "text_diff"
+  "text_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

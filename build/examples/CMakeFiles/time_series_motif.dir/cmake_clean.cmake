@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series_motif.dir/time_series_motif.cpp.o"
+  "CMakeFiles/time_series_motif.dir/time_series_motif.cpp.o.d"
+  "time_series_motif"
+  "time_series_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_align.dir/align/distance.cpp.o"
+  "CMakeFiles/semilocal_align.dir/align/distance.cpp.o.d"
+  "CMakeFiles/semilocal_align.dir/align/edit.cpp.o"
+  "CMakeFiles/semilocal_align.dir/align/edit.cpp.o.d"
+  "libsemilocal_align.a"
+  "libsemilocal_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_bitlcs.dir/bitlcs/bitwise_combing.cpp.o"
+  "CMakeFiles/semilocal_bitlcs.dir/bitlcs/bitwise_combing.cpp.o.d"
+  "CMakeFiles/semilocal_bitlcs.dir/bitlcs/encoding.cpp.o"
+  "CMakeFiles/semilocal_bitlcs.dir/bitlcs/encoding.cpp.o.d"
+  "libsemilocal_bitlcs.a"
+  "libsemilocal_bitlcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_bitlcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for semilocal_bitlcs.
+# This may be replaced when dependencies are built.

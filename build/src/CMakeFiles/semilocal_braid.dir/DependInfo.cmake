@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/braid/monge.cpp" "src/CMakeFiles/semilocal_braid.dir/braid/monge.cpp.o" "gcc" "src/CMakeFiles/semilocal_braid.dir/braid/monge.cpp.o.d"
+  "/root/repo/src/braid/permutation.cpp" "src/CMakeFiles/semilocal_braid.dir/braid/permutation.cpp.o" "gcc" "src/CMakeFiles/semilocal_braid.dir/braid/permutation.cpp.o.d"
+  "/root/repo/src/braid/precalc.cpp" "src/CMakeFiles/semilocal_braid.dir/braid/precalc.cpp.o" "gcc" "src/CMakeFiles/semilocal_braid.dir/braid/precalc.cpp.o.d"
+  "/root/repo/src/braid/steady_ant.cpp" "src/CMakeFiles/semilocal_braid.dir/braid/steady_ant.cpp.o" "gcc" "src/CMakeFiles/semilocal_braid.dir/braid/steady_ant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semilocal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

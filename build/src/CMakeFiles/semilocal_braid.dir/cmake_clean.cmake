@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_braid.dir/braid/monge.cpp.o"
+  "CMakeFiles/semilocal_braid.dir/braid/monge.cpp.o.d"
+  "CMakeFiles/semilocal_braid.dir/braid/permutation.cpp.o"
+  "CMakeFiles/semilocal_braid.dir/braid/permutation.cpp.o.d"
+  "CMakeFiles/semilocal_braid.dir/braid/precalc.cpp.o"
+  "CMakeFiles/semilocal_braid.dir/braid/precalc.cpp.o.d"
+  "CMakeFiles/semilocal_braid.dir/braid/steady_ant.cpp.o"
+  "CMakeFiles/semilocal_braid.dir/braid/steady_ant.cpp.o.d"
+  "libsemilocal_braid.a"
+  "libsemilocal_braid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_braid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

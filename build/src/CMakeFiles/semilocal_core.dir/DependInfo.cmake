@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/CMakeFiles/semilocal_core.dir/core/api.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/api.cpp.o.d"
+  "/root/repo/src/core/braid_render.cpp" "src/CMakeFiles/semilocal_core.dir/core/braid_render.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/braid_render.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/semilocal_core.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/CMakeFiles/semilocal_core.dir/core/incremental.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/incremental.cpp.o.d"
+  "/root/repo/src/core/iterative_combing.cpp" "src/CMakeFiles/semilocal_core.dir/core/iterative_combing.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/iterative_combing.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/semilocal_core.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/recursive_combing.cpp" "src/CMakeFiles/semilocal_core.dir/core/recursive_combing.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/recursive_combing.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/semilocal_core.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/semilocal_core.dir/core/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semilocal_braid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_lcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_dominance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

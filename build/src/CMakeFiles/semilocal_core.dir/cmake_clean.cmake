@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_core.dir/core/api.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/api.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/braid_render.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/braid_render.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/hybrid.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/hybrid.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/incremental.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/incremental.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/iterative_combing.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/iterative_combing.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/kernel.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/kernel.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/recursive_combing.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/recursive_combing.cpp.o.d"
+  "CMakeFiles/semilocal_core.dir/core/serialize.cpp.o"
+  "CMakeFiles/semilocal_core.dir/core/serialize.cpp.o.d"
+  "libsemilocal_core.a"
+  "libsemilocal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dominance/mergesort_tree.cpp" "src/CMakeFiles/semilocal_dominance.dir/dominance/mergesort_tree.cpp.o" "gcc" "src/CMakeFiles/semilocal_dominance.dir/dominance/mergesort_tree.cpp.o.d"
+  "/root/repo/src/dominance/prefix_oracle.cpp" "src/CMakeFiles/semilocal_dominance.dir/dominance/prefix_oracle.cpp.o" "gcc" "src/CMakeFiles/semilocal_dominance.dir/dominance/prefix_oracle.cpp.o.d"
+  "/root/repo/src/dominance/wavelet_tree.cpp" "src/CMakeFiles/semilocal_dominance.dir/dominance/wavelet_tree.cpp.o" "gcc" "src/CMakeFiles/semilocal_dominance.dir/dominance/wavelet_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semilocal_braid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/semilocal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_dominance.dir/dominance/mergesort_tree.cpp.o"
+  "CMakeFiles/semilocal_dominance.dir/dominance/mergesort_tree.cpp.o.d"
+  "CMakeFiles/semilocal_dominance.dir/dominance/prefix_oracle.cpp.o"
+  "CMakeFiles/semilocal_dominance.dir/dominance/prefix_oracle.cpp.o.d"
+  "CMakeFiles/semilocal_dominance.dir/dominance/wavelet_tree.cpp.o"
+  "CMakeFiles/semilocal_dominance.dir/dominance/wavelet_tree.cpp.o.d"
+  "libsemilocal_dominance.a"
+  "libsemilocal_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

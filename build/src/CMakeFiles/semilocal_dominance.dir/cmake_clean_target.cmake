@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemilocal_dominance.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcs/aluru.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/aluru.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/aluru.cpp.o.d"
+  "/root/repo/src/lcs/bitparallel.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/bitparallel.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/bitparallel.cpp.o.d"
+  "/root/repo/src/lcs/cache_oblivious.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/cache_oblivious.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/cache_oblivious.cpp.o.d"
+  "/root/repo/src/lcs/dp.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/dp.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/dp.cpp.o.d"
+  "/root/repo/src/lcs/hirschberg.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/hirschberg.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/hirschberg.cpp.o.d"
+  "/root/repo/src/lcs/prefix.cpp" "src/CMakeFiles/semilocal_lcs.dir/lcs/prefix.cpp.o" "gcc" "src/CMakeFiles/semilocal_lcs.dir/lcs/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/semilocal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_lcs.dir/lcs/aluru.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/aluru.cpp.o.d"
+  "CMakeFiles/semilocal_lcs.dir/lcs/bitparallel.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/bitparallel.cpp.o.d"
+  "CMakeFiles/semilocal_lcs.dir/lcs/cache_oblivious.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/cache_oblivious.cpp.o.d"
+  "CMakeFiles/semilocal_lcs.dir/lcs/dp.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/dp.cpp.o.d"
+  "CMakeFiles/semilocal_lcs.dir/lcs/hirschberg.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/hirschberg.cpp.o.d"
+  "CMakeFiles/semilocal_lcs.dir/lcs/prefix.cpp.o"
+  "CMakeFiles/semilocal_lcs.dir/lcs/prefix.cpp.o.d"
+  "libsemilocal_lcs.a"
+  "libsemilocal_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

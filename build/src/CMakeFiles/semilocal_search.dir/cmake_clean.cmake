@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_search.dir/search/dotplot.cpp.o"
+  "CMakeFiles/semilocal_search.dir/search/dotplot.cpp.o.d"
+  "CMakeFiles/semilocal_search.dir/search/multi_pattern.cpp.o"
+  "CMakeFiles/semilocal_search.dir/search/multi_pattern.cpp.o.d"
+  "libsemilocal_search.a"
+  "libsemilocal_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_util.dir/util/cli.cpp.o"
+  "CMakeFiles/semilocal_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/semilocal_util.dir/util/fasta.cpp.o"
+  "CMakeFiles/semilocal_util.dir/util/fasta.cpp.o.d"
+  "CMakeFiles/semilocal_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/semilocal_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/semilocal_util.dir/util/random.cpp.o"
+  "CMakeFiles/semilocal_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/semilocal_util.dir/util/table.cpp.o"
+  "CMakeFiles/semilocal_util.dir/util/table.cpp.o.d"
+  "libsemilocal_util.a"
+  "libsemilocal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for semilocal_util.
+# This may be replaced when dependencies are built.

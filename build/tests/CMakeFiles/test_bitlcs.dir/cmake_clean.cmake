@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitlcs.dir/oracles.cpp.o"
+  "CMakeFiles/test_bitlcs.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_bitlcs.dir/test_bitlcs.cpp.o"
+  "CMakeFiles/test_bitlcs.dir/test_bitlcs.cpp.o.d"
+  "test_bitlcs"
+  "test_bitlcs.pdb"
+  "test_bitlcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitlcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combing.dir/oracles.cpp.o"
+  "CMakeFiles/test_combing.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_combing.dir/test_combing.cpp.o"
+  "CMakeFiles/test_combing.dir/test_combing.cpp.o.d"
+  "test_combing"
+  "test_combing.pdb"
+  "test_combing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_tools.dir/oracles.cpp.o"
+  "CMakeFiles/test_kernel_tools.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_kernel_tools.dir/test_kernel_tools.cpp.o"
+  "CMakeFiles/test_kernel_tools.dir/test_kernel_tools.cpp.o.d"
+  "test_kernel_tools"
+  "test_kernel_tools.pdb"
+  "test_kernel_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcs_baselines.dir/oracles.cpp.o"
+  "CMakeFiles/test_lcs_baselines.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_lcs_baselines.dir/test_lcs_baselines.cpp.o"
+  "CMakeFiles/test_lcs_baselines.dir/test_lcs_baselines.cpp.o.d"
+  "test_lcs_baselines"
+  "test_lcs_baselines.pdb"
+  "test_lcs_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

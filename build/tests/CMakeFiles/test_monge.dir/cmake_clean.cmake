@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monge.dir/oracles.cpp.o"
+  "CMakeFiles/test_monge.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_monge.dir/test_monge.cpp.o"
+  "CMakeFiles/test_monge.dir/test_monge.cpp.o.d"
+  "test_monge"
+  "test_monge.pdb"
+  "test_monge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steady_ant.dir/oracles.cpp.o"
+  "CMakeFiles/test_steady_ant.dir/oracles.cpp.o.d"
+  "CMakeFiles/test_steady_ant.dir/test_steady_ant.cpp.o"
+  "CMakeFiles/test_steady_ant.dir/test_steady_ant.cpp.o.d"
+  "test_steady_ant"
+  "test_steady_ant.pdb"
+  "test_steady_ant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steady_ant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

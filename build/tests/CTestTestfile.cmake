@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_permutation[1]_include.cmake")
+include("/root/repo/build/tests/test_monge[1]_include.cmake")
+include("/root/repo/build/tests/test_precalc[1]_include.cmake")
+include("/root/repo/build/tests/test_steady_ant[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_lcs_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_dominance[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_combing[1]_include.cmake")
+include("/root/repo/build/tests/test_bitlcs[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_table_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_options_matrix[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semilocal_cli.dir/semilocal_cli.cpp.o"
+  "CMakeFiles/semilocal_cli.dir/semilocal_cli.cpp.o.d"
+  "semilocal_cli"
+  "semilocal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semilocal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
