@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test the release and sanitizer configurations.
+#
+# The ASan/UBSan leg matters for this codebase specifically because the
+# steady-ant arena and the Workspace buffer pools hand out raw spans carved
+# from larger allocations -- exactly the kind of code where an off-by-one
+# survives a release build unnoticed.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+  case $opt in
+    j) jobs=$OPTARG ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+for preset in release asan; do
+  echo "==> configure ($preset)"
+  cmake --preset "$preset" >/dev/null
+  echo "==> build ($preset)"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> ctest ($preset)"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All checks passed."

@@ -1,6 +1,7 @@
 #include "braid/steady_ant.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -246,7 +247,21 @@ std::size_t steady_ant_arena_requirement(Index n, int parallel_depth) {
   return maps + transient + 8;
 }
 
-std::vector<std::int32_t> multiply_row_to_col(CSpan p, CSpan q, const SteadyAntOptions& opts) {
+void AntWorkspace::prepare(Index n, int parallel_depth) {
+  const auto ensure = [this](std::vector<I32>& buf, std::size_t need) {
+    if (buf.size() < need) {
+      ++growths_;
+      buf.reserve(std::bit_ceil(need));
+      buf.resize(need);
+    }
+  };
+  ensure(cur_, static_cast<std::size_t>(2 * n));
+  ensure(other_, static_cast<std::size_t>(2 * n));
+  ensure(arena_, steady_ant_arena_requirement(n, std::max(parallel_depth, 0)));
+}
+
+std::vector<std::int32_t> multiply_row_to_col(CSpan p, CSpan q, const SteadyAntOptions& opts,
+                                              AntWorkspace* ws) {
   if (p.size() != q.size()) throw std::invalid_argument("multiply_row_to_col: order mismatch");
   const Index n = static_cast<Index>(p.size());
   if (n == 0) return {};
@@ -254,33 +269,54 @@ std::vector<std::int32_t> multiply_row_to_col(CSpan p, CSpan q, const SteadyAntO
   const Index cutoff =
       std::clamp<Index>(opts.precalc_cutoff, 1, SmallProductTable::kMaxOrder);
   std::vector<I32> out(static_cast<std::size_t>(n));
-  if (!opts.preallocate && opts.parallel_depth <= 0) {
+  if (ws == nullptr && !opts.preallocate && opts.parallel_depth <= 0) {
     multiply_alloc(p, q, out, table, cutoff);
     return out;
   }
-  std::vector<I32> buf_cur(static_cast<std::size_t>(2 * n));
-  std::vector<I32> buf_other(static_cast<std::size_t>(2 * n));
-  std::copy(p.begin(), p.end(), buf_cur.begin());
-  std::copy(q.begin(), q.end(), buf_cur.begin() + n);
   const int depth = std::max(opts.parallel_depth, 0);
-  ArenaStorage storage(steady_ant_arena_requirement(n, depth));
-  Arena arena = storage.arena();
+  // Scratch comes from the workspace when given, otherwise from fresh
+  // per-call buffers with identical layout.
+  std::vector<I32> local_cur;
+  std::vector<I32> local_other;
+  ArenaStorage local_storage(ws ? 0 : steady_ant_arena_requirement(n, depth));
+  I32* buf_cur;
+  I32* buf_other;
+  Arena arena;
+  if (ws != nullptr) {
+    ws->prepare(n, depth);
+    buf_cur = ws->cur_.data();
+    buf_other = ws->other_.data();
+    arena = Arena(ws->arena_.data(), ws->arena_.size());
+  } else {
+    local_cur.resize(static_cast<std::size_t>(2 * n));
+    local_other.resize(static_cast<std::size_t>(2 * n));
+    buf_cur = local_cur.data();
+    buf_other = local_other.data();
+    arena = local_storage.arena();
+  }
+  std::copy(p.begin(), p.end(), buf_cur);
+  std::copy(q.begin(), q.end(), buf_cur + n);
   if (depth > 0) {
 #pragma omp parallel default(none) shared(buf_cur, buf_other, n, arena, table, cutoff, depth)
     {
 #pragma omp single
-      multiply_pooled(buf_cur.data(), buf_other.data(), n, arena, table, cutoff, depth);
+      multiply_pooled(buf_cur, buf_other, n, arena, table, cutoff, depth);
     }
   } else {
-    multiply_pooled(buf_cur.data(), buf_other.data(), n, arena, table, cutoff, 0);
+    multiply_pooled(buf_cur, buf_other, n, arena, table, cutoff, 0);
   }
-  std::copy(buf_cur.begin(), buf_cur.begin() + n, out.begin());
+  std::copy(buf_cur, buf_cur + n, out.begin());
   return out;
 }
 
-Permutation multiply(const Permutation& p, const Permutation& q, const SteadyAntOptions& opts) {
+std::vector<std::int32_t> multiply_row_to_col(CSpan p, CSpan q, const SteadyAntOptions& opts) {
+  return multiply_row_to_col(p, q, opts, nullptr);
+}
+
+Permutation multiply(const Permutation& p, const Permutation& q, const SteadyAntOptions& opts,
+                     AntWorkspace* ws) {
   return Permutation::from_row_to_col(
-      multiply_row_to_col(p.row_to_col(), q.row_to_col(), opts));
+      multiply_row_to_col(p.row_to_col(), q.row_to_col(), opts, ws));
 }
 
 Permutation multiply_base(const Permutation& p, const Permutation& q) {

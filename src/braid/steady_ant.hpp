@@ -43,15 +43,52 @@ struct SteadyAntOptions {
   Index precalc_cutoff = 5;
 };
 
+/// Reusable scratch for the preallocated steady-ant variants: the two
+/// ping-pong permutation buffers and the mapping arena. Buffers grow
+/// geometrically and are reused across calls, so repeated multiplications
+/// at steady state allocate only their result vectors. Not thread-safe;
+/// use one AntWorkspace per thread. A workspace is consumed by one
+/// multiplication at a time (the parallel variant still shares the single
+/// arena via carving, exactly as the owning ArenaStorage would).
+class AntWorkspace {
+ public:
+  /// Number of buffer-growth reallocations since construction; constant once
+  /// the workspace is warm for the orders it serves.
+  [[nodiscard]] std::size_t growth_events() const { return growths_; }
+
+  /// Grows (never shrinks) the buffers for order-`n` products with the given
+  /// task depth. Implicit on use; exposed for warm-up before timing loops.
+  void prepare(Index n, int parallel_depth);
+
+ private:
+  friend std::vector<std::int32_t> multiply_row_to_col(
+      std::span<const std::int32_t> p, std::span<const std::int32_t> q,
+      const SteadyAntOptions& opts, AntWorkspace* ws);
+
+  std::vector<std::int32_t> cur_;
+  std::vector<std::int32_t> other_;
+  std::vector<std::int32_t> arena_;
+  std::size_t growths_ = 0;
+};
+
 /// Low-level entry point on raw row->col arrays (both inputs must be
 /// complete permutations of the same order). Returns the product's row->col.
 std::vector<std::int32_t> multiply_row_to_col(std::span<const std::int32_t> p,
                                               std::span<const std::int32_t> q,
                                               const SteadyAntOptions& opts = {});
 
-/// Sticky product of two reduced braids.
+/// Same, drawing all scratch from `ws` (nullptr falls back to fresh
+/// allocation). `ws` non-null implies the preallocated code path even when
+/// opts.preallocate is false.
+std::vector<std::int32_t> multiply_row_to_col(std::span<const std::int32_t> p,
+                                              std::span<const std::int32_t> q,
+                                              const SteadyAntOptions& opts,
+                                              AntWorkspace* ws);
+
+/// Sticky product of two reduced braids. `ws` (when given) supplies the
+/// scratch buffers of the preallocated variants.
 Permutation multiply(const Permutation& p, const Permutation& q,
-                     const SteadyAntOptions& opts = {});
+                     const SteadyAntOptions& opts = {}, AntWorkspace* ws = nullptr);
 
 /// Named variants matching the paper's evaluation legend.
 Permutation multiply_base(const Permutation& p, const Permutation& q);

@@ -1,6 +1,9 @@
 #include "core/api.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+
+#include "core/workspace.hpp"
 
 namespace semilocal {
 
@@ -18,23 +21,25 @@ std::string_view strategy_name(Strategy s) {
 }
 
 SemiLocalKernel semi_local_kernel(SequenceView a, SequenceView b,
-                                  const SemiLocalOptions& opts) {
+                                  const SemiLocalOptions& opts, Workspace* ws) {
   switch (opts.strategy) {
     case Strategy::kRowMajor:
       return comb_rowmajor(a, b);
     case Strategy::kAntidiag:
       return comb_antidiag(
           a, b, CombOptions{.branchless = false, .parallel = opts.parallel,
-                            .allow_16bit = opts.allow_16bit});
+                            .allow_16bit = opts.allow_16bit},
+          ws);
     case Strategy::kAntidiagSimd:
       return comb_antidiag(
           a, b, CombOptions{.branchless = true, .parallel = opts.parallel,
-                            .allow_16bit = opts.allow_16bit});
+                            .allow_16bit = opts.allow_16bit},
+          ws);
     case Strategy::kLoadBalanced:
       return comb_load_balanced(
           a, b, CombOptions{.branchless = true, .parallel = opts.parallel,
                             .allow_16bit = opts.allow_16bit},
-          opts.ant);
+          opts.ant, ws);
     case Strategy::kRecursive:
       return recursive_combing(a, b, opts.ant, opts.parallel ? opts.depth : 0);
     case Strategy::kHybrid:
@@ -54,8 +59,74 @@ SemiLocalKernel semi_local_kernel(SequenceView a, SequenceView b,
   throw std::invalid_argument("semi_local_kernel: unknown strategy");
 }
 
+SemiLocalKernel semi_local_kernel(SequenceView a, SequenceView b,
+                                  const SemiLocalOptions& opts) {
+  return semi_local_kernel(a, b, opts, nullptr);
+}
+
 Index lcs_semilocal(SequenceView a, SequenceView b, const SemiLocalOptions& opts) {
   return semi_local_kernel(a, b, opts).lcs();
+}
+
+namespace {
+
+// Pairs are the parallel unit inside a batch; per-pair combing runs serially.
+SemiLocalOptions per_pair_options(const SemiLocalOptions& opts) {
+  SemiLocalOptions per = opts;
+  per.parallel = false;
+  return per;
+}
+
+// LCS(a, b) straight off the kernel permutation, without building any
+// dominance structure: H(m, n) = n - |{(r, c) : r >= m, c < n}|, and rows
+// >= m with columns < n are exactly the top-entry strands exiting bottom.
+Index lcs_from_kernel(const SemiLocalKernel& k) {
+  const auto& row_to_col = k.permutation().row_to_col();
+  const Index m = k.m();
+  const Index n = k.n();
+  Index crossings = 0;
+  for (Index r = m; r < m + n; ++r) {
+    if (row_to_col[static_cast<std::size_t>(r)] < n) ++crossings;
+  }
+  return n - crossings;
+}
+
+// Runs `job(i)` for every pair index, inside one parallel region when asked.
+template <typename Job>
+void for_each_pair(std::size_t count, bool parallel, const Job& job) {
+  const auto total = static_cast<std::int64_t>(count);
+  if (parallel) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::int64_t i = 0; i < total; ++i) job(i);
+  } else {
+    for (std::int64_t i = 0; i < total; ++i) job(i);
+  }
+}
+
+}  // namespace
+
+std::vector<SemiLocalKernel> semi_local_kernel_batch(std::span<const SequencePair> pairs,
+                                                     const SemiLocalOptions& opts) {
+  std::vector<SemiLocalKernel> out(pairs.size());
+  const SemiLocalOptions per = per_pair_options(opts);
+  for_each_pair(pairs.size(), opts.parallel, [&](std::int64_t i) {
+    const auto& [a, b] = pairs[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = semi_local_kernel(a, b, per, &tls_workspace());
+  });
+  return out;
+}
+
+void lcs_semilocal_batch(std::span<const SequencePair> pairs, std::span<Index> out,
+                         const SemiLocalOptions& opts) {
+  if (out.size() != pairs.size()) {
+    throw std::invalid_argument("lcs_semilocal_batch: out.size() != pairs.size()");
+  }
+  const SemiLocalOptions per = per_pair_options(opts);
+  for_each_pair(pairs.size(), opts.parallel, [&](std::int64_t i) {
+    const auto& [a, b] = pairs[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        lcs_from_kernel(semi_local_kernel(a, b, per, &tls_workspace()));
+  });
 }
 
 }  // namespace semilocal

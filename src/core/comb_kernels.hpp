@@ -1,0 +1,82 @@
+// Explicit SIMD kernels for the anti-diagonal combing inner loop, with
+// one-time runtime CPU dispatch.
+//
+// The branchless strand update of Listing 4 is a compare-and-swap network
+// (Krusche & Tiskin, arXiv:0903.3579): per cell,
+//
+//   match = (a_rev[j] == b[j]);
+//   h'[j] = match ? v[j] : min(h[j], v[j]);
+//   v'[j] = match ? h[j] : max(h[j], v[j]);
+//
+// which is exactly pairwise unsigned min/max plus a masked blend -- the
+// paper's Section 6 AVX-512 suggestion. This header exposes hand-written
+// AVX2 and AVX-512 implementations of that update for both strand widths
+// (uint16_t and uint32_t), a portable scalar fallback (the autovectorized
+// bitwise-select loop, i.e. the paper's semi_antidiag_SIMD inner loop), and
+// a CPUID-based dispatcher resolved once per process.
+//
+// Every implementation produces bit-identical strand arrays: the dispatch
+// is purely a throughput decision, never a semantic one.
+//
+// Dispatch order: SEMILOCAL_KERNEL environment override (scalar|avx2|avx512)
+// if set and supported, else the widest ISA the CPU supports.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Instruction-set tiers for the comb inner loop.
+enum class KernelIsa {
+  kAuto,    ///< resolve via kernel_dispatch() (env override or best CPU tier)
+  kScalar,  ///< portable branchless loop (compiler autovectorization only)
+  kAvx2,    ///< 256-bit min/max + blendv
+  kAvx512,  ///< 512-bit masked vpminu/vpmaxu + mask blends (needs BW for u16)
+};
+
+/// Combs `len` consecutive cells of one anti-diagonal segment. All pointers
+/// are pre-offset to the segment start: cell j reads symbols a_rev[j], b[j]
+/// and updates strands h[j], v[j].
+template <typename StrandT>
+using CombCellsFn = void (*)(const Symbol* a_rev, const Symbol* b,
+                             StrandT* h, StrandT* v, Index len);
+
+/// Function-pointer table for one ISA tier, covering both strand widths.
+struct CombKernelTable {
+  CombCellsFn<std::uint16_t> u16;
+  CombCellsFn<std::uint32_t> u32;
+  KernelIsa isa;
+  std::string_view name;  ///< "scalar" | "avx2" | "avx512"
+
+  template <typename StrandT>
+  [[nodiscard]] CombCellsFn<StrandT> get() const {
+    if constexpr (sizeof(StrandT) == 2) {
+      return u16;
+    } else {
+      static_assert(sizeof(StrandT) == 4, "strands are 16- or 32-bit");
+      return u32;
+    }
+  }
+};
+
+/// True when this process can execute the given tier (kScalar and kAuto are
+/// always true).
+[[nodiscard]] bool kernel_isa_supported(KernelIsa isa);
+
+/// The table for an explicit tier. Requesting an unsupported tier returns
+/// the scalar table (callers probing variants should check
+/// kernel_isa_supported first).
+[[nodiscard]] const CombKernelTable& kernel_table(KernelIsa isa);
+
+/// The process-wide dispatch decision: SEMILOCAL_KERNEL override when valid,
+/// otherwise the widest supported tier. Resolved once, on first call.
+[[nodiscard]] const CombKernelTable& kernel_dispatch();
+
+/// Resolves a CombOptions-style request: kAuto defers to kernel_dispatch(),
+/// anything else picks that tier (falling back to scalar if unsupported).
+[[nodiscard]] const CombKernelTable& resolve_kernels(KernelIsa isa);
+
+}  // namespace semilocal

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "util/parallel.hpp"
 
 namespace semilocal {
@@ -12,7 +13,7 @@ namespace {
 SemiLocalKernel hybrid_rec(SequenceView a, SequenceView b, const HybridOptions& opts,
                            int depth) {
   if (depth <= 0 || a.size() + b.size() <= 4) {
-    return comb_antidiag(a, b, opts.comb);
+    return comb_antidiag(a, b, opts.comb, &tls_workspace());
   }
   const bool split_b = a.size() < b.size();
   const SequenceView outer = split_b ? b : a;
@@ -32,7 +33,8 @@ SemiLocalKernel hybrid_rec(SequenceView a, SequenceView b, const HybridOptions& 
     l = hybrid_rec(left, inner, opts, depth - 1);
     r = hybrid_rec(right, inner, opts, depth - 1);
   }
-  const SemiLocalKernel composed = compose_horizontal(l, r, opts.ant);
+  const SemiLocalKernel composed =
+      compose_horizontal(l, r, opts.ant, &tls_workspace().ant());
   return split_b ? composed.flipped() : composed;
 }
 
@@ -125,7 +127,7 @@ SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b, Index m_out
                                                             b_bounds[static_cast<std::size_t>(j)]));
       CombOptions tile_comb = opts.comb;
       tile_comb.parallel = false;  // tiles are the parallel unit here
-      at(i, j) = comb_antidiag(sub_a, sub_b, tile_comb);
+      at(i, j) = comb_antidiag(sub_a, sub_b, tile_comb, &tls_workspace());
     }
   } else {
     for (Index t = 0; t < tiles; ++t) {
@@ -137,7 +139,7 @@ SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b, Index m_out
       const auto sub_b = b.subspan(static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j)]),
                                    static_cast<std::size_t>(b_bounds[static_cast<std::size_t>(j + 1)] -
                                                             b_bounds[static_cast<std::size_t>(j)]));
-      at(i, j) = comb_antidiag(sub_a, sub_b, opts.comb);
+      at(i, j) = comb_antidiag(sub_a, sub_b, opts.comb, &tls_workspace());
     }
   }
 
@@ -159,7 +161,8 @@ SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b, Index m_out
         const Index j = t % new_n_outer;
         if (2 * j + 1 < n_outer) {
           next[static_cast<std::size_t>(t)] =
-              compose_vertical(at(i, 2 * j), at(i, 2 * j + 1), opts.ant);
+              compose_vertical(at(i, 2 * j), at(i, 2 * j + 1), opts.ant,
+                               &tls_workspace().ant());
         } else {
           next[static_cast<std::size_t>(t)] = std::move(at(i, 2 * j));
         }
@@ -176,7 +179,8 @@ SemiLocalKernel hybrid_tiled_combing(SequenceView a, SequenceView b, Index m_out
         const Index j = t % n_outer;
         if (2 * i + 1 < m_outer) {
           next[static_cast<std::size_t>(t)] =
-              compose_horizontal(at(2 * i, j), at(2 * i + 1, j), opts.ant);
+              compose_horizontal(at(2 * i, j), at(2 * i + 1, j), opts.ant,
+                                 &tls_workspace().ant());
         } else {
           next[static_cast<std::size_t>(t)] = std::move(at(2 * i, j));
         }

@@ -1,11 +1,32 @@
 #include "core/iterative_combing.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "core/comb_kernels.hpp"
+#include "core/workspace.hpp"
 #include "util/bits.hpp"
+
+// The branching baseline must stay scalar even at -O3 -march=native (see the
+// comment at comb_cells_branching). GCC disables the vectorizers with a
+// function attribute; Clang does not implement optimize("...") and instead
+// takes per-loop pragmas.
+#if defined(__clang__)
+#define SEMILOCAL_NO_VECTORIZE_FN
+#define SEMILOCAL_NO_VECTORIZE_LOOP \
+  _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define SEMILOCAL_NO_VECTORIZE_FN \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#define SEMILOCAL_NO_VECTORIZE_LOOP
+#else
+#define SEMILOCAL_NO_VECTORIZE_FN
+#define SEMILOCAL_NO_VECTORIZE_LOOP
+#endif
 
 namespace semilocal {
 namespace {
@@ -87,10 +108,11 @@ Permutation build_subbraid(const StrandT* h, const StrandT* v, Index m, Index n,
 // vectorization is disabled here so the baseline keeps the scalar
 // conditional-store behaviour the paper measures against.
 template <typename StrandT>
-__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+SEMILOCAL_NO_VECTORIZE_FN
 void comb_cells_branching(const Symbol* __restrict a_rev, const Symbol* __restrict b,
                           StrandT* __restrict h, StrandT* __restrict v,
                           Index len, Index hi, Index vi) {
+  SEMILOCAL_NO_VECTORIZE_LOOP
   for (Index j = 0; j < len; ++j) {
     const StrandT hs = h[hi + j];
     const StrandT vs = v[vi + j];
@@ -104,24 +126,17 @@ void comb_cells_branching(const Symbol* __restrict a_rev, const Symbol* __restri
 // Inner-loop formulations of the branchless update.
 enum class CombMode {
   kBranching,  // the paper's semi_antidiag baseline
-  kSelect,     // bitwise selects (semi_antidiag_SIMD)
-  kMinMax,     // masked min/max (the paper's AVX-512 future-work suggestion)
+  kKernel,     // dispatched SIMD kernel layer (semi_antidiag_SIMD)
+  kMinMax,     // autovectorized masked min/max (ablation of the formulation)
 };
 
 template <typename StrandT, CombMode Mode>
-inline void comb_cells(const Symbol* __restrict a_rev, const Symbol* __restrict b,
+inline void comb_cells(CombCellsFn<StrandT> fn,
+                       const Symbol* __restrict a_rev, const Symbol* __restrict b,
                        StrandT* __restrict h, StrandT* __restrict v,
                        Index len, Index hi, Index vi) {
-  if constexpr (Mode == CombMode::kSelect) {
-#pragma omp simd
-    for (Index j = 0; j < len; ++j) {
-      const StrandT hs = h[hi + j];
-      const StrandT vs = v[vi + j];
-      const StrandT p =
-          static_cast<StrandT>((a_rev[hi + j] == b[vi + j]) | (hs > vs));
-      h[hi + j] = select_if(hs, vs, p);
-      v[vi + j] = select_if(vs, hs, p);
-    }
+  if constexpr (Mode == CombMode::kKernel) {
+    fn(a_rev + hi, b + vi, h + hi, v + vi, len);
   } else if constexpr (Mode == CombMode::kMinMax) {
     // A mismatch cell sorts the pair (min up, max left); a match cell always
     // swaps. Both cases are pairwise min/max plus a masked blend.
@@ -141,56 +156,49 @@ inline void comb_cells(const Symbol* __restrict a_rev, const Symbol* __restrict 
 }
 
 // Worksharing version; must be invoked by every thread of an enclosing
-// OpenMP parallel region. The implicit barrier at loop end is the
-// per-anti-diagonal synchronisation of Listing 4.
+// OpenMP parallel region. The barrier at segment end is the
+// per-anti-diagonal synchronisation of Listing 4. The kernel mode splits the
+// segment into the same contiguous static chunks `omp for schedule(static)`
+// would produce and runs the dispatched kernel on this thread's chunk.
 template <typename StrandT, CombMode Mode, bool NoWait>
-inline void comb_cells_par(const Symbol* __restrict a_rev, const Symbol* __restrict b,
+inline void comb_cells_par(CombCellsFn<StrandT> fn,
+                           const Symbol* __restrict a_rev, const Symbol* __restrict b,
                            StrandT* __restrict h, StrandT* __restrict v,
                            Index len, Index hi, Index vi) {
-  if constexpr (Mode == CombMode::kMinMax) {
-    if constexpr (NoWait) {
-#pragma omp for simd schedule(static) nowait
-      for (Index j = 0; j < len; ++j) {
-        const StrandT hs = h[hi + j];
-        const StrandT vs = v[vi + j];
-        const bool match = a_rev[hi + j] == b[vi + j];
-        const StrandT mn = std::min(hs, vs);
-        const StrandT mx = std::max(hs, vs);
-        h[hi + j] = match ? vs : mn;
-        v[vi + j] = match ? hs : mx;
-      }
-    } else {
-#pragma omp for simd schedule(static)
-      for (Index j = 0; j < len; ++j) {
-        const StrandT hs = h[hi + j];
-        const StrandT vs = v[vi + j];
-        const bool match = a_rev[hi + j] == b[vi + j];
-        const StrandT mn = std::min(hs, vs);
-        const StrandT mx = std::max(hs, vs);
-        h[hi + j] = match ? vs : mn;
-        v[vi + j] = match ? hs : mx;
-      }
+  if constexpr (Mode == CombMode::kKernel) {
+    const Index nt = omp_get_num_threads();
+    const Index tid = omp_get_thread_num();
+    const Index begin = len * tid / nt;
+    const Index end = len * (tid + 1) / nt;
+    if (end > begin) {
+      fn(a_rev + hi + begin, b + vi + begin, h + hi + begin, v + vi + begin,
+         end - begin);
     }
-  } else if constexpr (Mode == CombMode::kSelect) {
+    if constexpr (!NoWait) {
+#pragma omp barrier
+    }
+  } else if constexpr (Mode == CombMode::kMinMax) {
     if constexpr (NoWait) {
 #pragma omp for simd schedule(static) nowait
       for (Index j = 0; j < len; ++j) {
         const StrandT hs = h[hi + j];
         const StrandT vs = v[vi + j];
-        const StrandT p =
-            static_cast<StrandT>((a_rev[hi + j] == b[vi + j]) | (hs > vs));
-        h[hi + j] = select_if(hs, vs, p);
-        v[vi + j] = select_if(vs, hs, p);
+        const bool match = a_rev[hi + j] == b[vi + j];
+        const StrandT mn = std::min(hs, vs);
+        const StrandT mx = std::max(hs, vs);
+        h[hi + j] = match ? vs : mn;
+        v[vi + j] = match ? hs : mx;
       }
     } else {
 #pragma omp for simd schedule(static)
       for (Index j = 0; j < len; ++j) {
         const StrandT hs = h[hi + j];
         const StrandT vs = v[vi + j];
-        const StrandT p =
-            static_cast<StrandT>((a_rev[hi + j] == b[vi + j]) | (hs > vs));
-        h[hi + j] = select_if(hs, vs, p);
-        v[vi + j] = select_if(vs, hs, p);
+        const bool match = a_rev[hi + j] == b[vi + j];
+        const StrandT mn = std::min(hs, vs);
+        const StrandT mx = std::max(hs, vs);
+        h[hi + j] = match ? vs : mn;
+        v[vi + j] = match ? hs : mx;
       }
     }
   } else {  // CombMode::kBranching
@@ -220,56 +228,59 @@ inline void comb_cells_par(const Symbol* __restrict a_rev, const Symbol* __restr
 
 // Full three-phase anti-diagonal sweep (requires 1 <= m <= n).
 template <typename StrandT, CombMode Mode, bool Parallel>
-void comb_grid(const Symbol* a_rev, const Symbol* b, StrandT* h, StrandT* v,
-               Index m, Index n) {
+void comb_grid(CombCellsFn<StrandT> fn, const Symbol* a_rev, const Symbol* b,
+               StrandT* h, StrandT* v, Index m, Index n) {
   assert(m >= 1 && m <= n);
   const Index full = n - m + 1;
   if constexpr (Parallel) {
 #pragma omp parallel
     {
       for (Index d = 0; d < m - 1; ++d) {
-        comb_cells_par<StrandT, Mode, false>(a_rev, b, h, v, d + 1, m - 1 - d, 0);
+        comb_cells_par<StrandT, Mode, false>(fn, a_rev, b, h, v, d + 1, m - 1 - d, 0);
       }
       for (Index k = 0; k < full; ++k) {
-        comb_cells_par<StrandT, Mode, false>(a_rev, b, h, v, m, 0, k);
+        comb_cells_par<StrandT, Mode, false>(fn, a_rev, b, h, v, m, 0, k);
       }
       Index vi = full;
       for (Index len = m - 1; len >= 1; --len) {
-        comb_cells_par<StrandT, Mode, false>(a_rev, b, h, v, len, 0, vi);
+        comb_cells_par<StrandT, Mode, false>(fn, a_rev, b, h, v, len, 0, vi);
         ++vi;
       }
     }
   } else {
     for (Index d = 0; d < m - 1; ++d) {
-      comb_cells<StrandT, Mode>(a_rev, b, h, v, d + 1, m - 1 - d, 0);
+      comb_cells<StrandT, Mode>(fn, a_rev, b, h, v, d + 1, m - 1 - d, 0);
     }
     for (Index k = 0; k < full; ++k) {
-      comb_cells<StrandT, Mode>(a_rev, b, h, v, m, 0, k);
+      comb_cells<StrandT, Mode>(fn, a_rev, b, h, v, m, 0, k);
     }
     Index vi = full;
     for (Index len = m - 1; len >= 1; --len) {
-      comb_cells<StrandT, Mode>(a_rev, b, h, v, len, 0, vi);
+      comb_cells<StrandT, Mode>(fn, a_rev, b, h, v, len, 0, vi);
       ++vi;
     }
   }
 }
 
+// Strand arrays leased from a workspace.
 template <typename StrandT>
-struct StrandArrays {
-  std::vector<StrandT> h;
-  std::vector<StrandT> v;
+struct StrandSpans {
+  std::span<StrandT> h;
+  std::span<StrandT> v;
 
   // Natural initialization: ids == slot numbers (the initial boundary order).
-  StrandArrays(Index m, Index n)
-      : h(static_cast<std::size_t>(m)), v(static_cast<std::size_t>(n)) {
+  StrandSpans(Workspace& ws, Index m, Index n)
+      : h(ws.strands<StrandT>(static_cast<std::size_t>(m))),
+        v(ws.strands<StrandT>(static_cast<std::size_t>(n))) {
     for (Index i = 0; i < m; ++i) h[static_cast<std::size_t>(i)] = static_cast<StrandT>(i);
     for (Index j = 0; j < n; ++j) v[static_cast<std::size_t>(j)] = static_cast<StrandT>(m + j);
   }
 
   // Phase initialization: ids == positions of the slots on the phase's
   // entry front, keeping the crossed-before comparison valid mid-grid.
-  StrandArrays(Index m, Index n, const std::vector<Index>& pos_of_slot)
-      : h(static_cast<std::size_t>(m)), v(static_cast<std::size_t>(n)) {
+  StrandSpans(Workspace& ws, Index m, Index n, const std::vector<Index>& pos_of_slot)
+      : h(ws.strands<StrandT>(static_cast<std::size_t>(m))),
+        v(ws.strands<StrandT>(static_cast<std::size_t>(n))) {
     for (Index i = 0; i < m; ++i) {
       h[static_cast<std::size_t>(i)] = static_cast<StrandT>(pos_of_slot[static_cast<std::size_t>(i)]);
     }
@@ -280,27 +291,30 @@ struct StrandArrays {
 };
 
 template <typename StrandT>
-SemiLocalKernel antidiag_typed(SequenceView a, SequenceView b, const CombOptions& o) {
+SemiLocalKernel antidiag_typed(SequenceView a, SequenceView b, const CombOptions& o,
+                               Workspace& ws) {
   const Index m = static_cast<Index>(a.size());
   const Index n = static_cast<Index>(b.size());
-  const Sequence a_rev(a.rbegin(), a.rend());
-  StrandArrays<StrandT> s(m, n);
+  ws.reset();
+  const std::span<const Symbol> a_rev = ws.reversed(a);
+  StrandSpans<StrandT> s(ws, m, n);
+  const CombCellsFn<StrandT> fn = resolve_kernels(o.isa).template get<StrandT>();
   const auto dispatch = [&]<CombMode Mode>(auto parallel) {
     comb_grid<StrandT, Mode, decltype(parallel)::value>(
-        a_rev.data(), b.data(), s.h.data(), s.v.data(), m, n);
+        fn, a_rev.data(), b.data(), s.h.data(), s.v.data(), m, n);
   };
   const CombMode mode = !o.branchless ? CombMode::kBranching
-                        : (o.minmax ? CombMode::kMinMax : CombMode::kSelect);
+                        : (o.minmax ? CombMode::kMinMax : CombMode::kKernel);
   if (o.parallel) {
     switch (mode) {
       case CombMode::kBranching: dispatch.template operator()<CombMode::kBranching>(std::true_type{}); break;
-      case CombMode::kSelect: dispatch.template operator()<CombMode::kSelect>(std::true_type{}); break;
+      case CombMode::kKernel: dispatch.template operator()<CombMode::kKernel>(std::true_type{}); break;
       case CombMode::kMinMax: dispatch.template operator()<CombMode::kMinMax>(std::true_type{}); break;
     }
   } else {
     switch (mode) {
       case CombMode::kBranching: dispatch.template operator()<CombMode::kBranching>(std::false_type{}); break;
-      case CombMode::kSelect: dispatch.template operator()<CombMode::kSelect>(std::false_type{}); break;
+      case CombMode::kKernel: dispatch.template operator()<CombMode::kKernel>(std::false_type{}); break;
       case CombMode::kMinMax: dispatch.template operator()<CombMode::kMinMax>(std::false_type{}); break;
     }
   }
@@ -316,19 +330,22 @@ SemiLocalKernel empty_kernel(Index m, Index n) {
 
 template <typename StrandT>
 SemiLocalKernel load_balanced_typed(SequenceView a, SequenceView b,
-                                    const CombOptions& o, const SteadyAntOptions& ant) {
+                                    const CombOptions& o, const SteadyAntOptions& ant,
+                                    Workspace& ws) {
   const Index m = static_cast<Index>(a.size());
   const Index n = static_cast<Index>(b.size());
   const Index full = n - m + 1;
-  const Sequence a_rev(a.rbegin(), a.rend());
+  ws.reset();
+  const std::span<const Symbol> a_rev = ws.reversed(a);
   const Symbol* ra = a_rev.data();
   const Symbol* pb = b.data();
+  const CombCellsFn<StrandT> fn = resolve_kernels(o.isa).template get<StrandT>();
   // Phase boundaries: the fronts after anti-diagonal m-2 (start of the
   // constant band) and after anti-diagonal n-1 (end of the band). Phases 2
   // and 3 comb with entry-front position ids.
   const auto pos1 = positions_of_slots(m, n, m - 1);
   const auto pos2 = positions_of_slots(m, n, n);
-  StrandArrays<StrandT> s1(m, n), s2(m, n, pos1), s3(m, n, pos2);
+  StrandSpans<StrandT> s1(ws, m, n), s2(ws, m, n, pos1), s3(ws, m, n, pos2);
 
   // Phases 1 and 3 as independent sub-braids: paired iteration t combs
   // phase-1 diagonal t (length t+1) and phase-3 diagonal t (length m-1-t),
@@ -336,33 +353,34 @@ SemiLocalKernel load_balanced_typed(SequenceView a, SequenceView b,
   if (o.parallel) {
 #pragma omp parallel
     for (Index t = 0; t < m - 1; ++t) {
-      comb_cells_par<StrandT, CombMode::kSelect, true>(ra, pb, s1.h.data(), s1.v.data(), t + 1,
-                                          m - 1 - t, 0);
-      comb_cells_par<StrandT, CombMode::kSelect, false>(ra, pb, s3.h.data(), s3.v.data(), m - 1 - t,
-                                           0, full + t);
+      comb_cells_par<StrandT, CombMode::kKernel, true>(fn, ra, pb, s1.h.data(), s1.v.data(),
+                                                       t + 1, m - 1 - t, 0);
+      comb_cells_par<StrandT, CombMode::kKernel, false>(fn, ra, pb, s3.h.data(), s3.v.data(),
+                                                        m - 1 - t, 0, full + t);
     }
   } else {
     for (Index t = 0; t < m - 1; ++t) {
-      comb_cells<StrandT, CombMode::kSelect>(ra, pb, s1.h.data(), s1.v.data(), t + 1, m - 1 - t, 0);
-      comb_cells<StrandT, CombMode::kSelect>(ra, pb, s3.h.data(), s3.v.data(), m - 1 - t, 0, full + t);
+      comb_cells<StrandT, CombMode::kKernel>(fn, ra, pb, s1.h.data(), s1.v.data(), t + 1, m - 1 - t, 0);
+      comb_cells<StrandT, CombMode::kKernel>(fn, ra, pb, s3.h.data(), s3.v.data(), m - 1 - t, 0, full + t);
     }
   }
   // Phase 2: the constant-length band.
   if (o.parallel) {
 #pragma omp parallel
     for (Index k = 0; k < full; ++k) {
-      comb_cells_par<StrandT, CombMode::kSelect, false>(ra, pb, s2.h.data(), s2.v.data(), m, 0, k);
+      comb_cells_par<StrandT, CombMode::kKernel, false>(fn, ra, pb, s2.h.data(), s2.v.data(), m, 0, k);
     }
   } else {
     for (Index k = 0; k < full; ++k) {
-      comb_cells<StrandT, CombMode::kSelect>(ra, pb, s2.h.data(), s2.v.data(), m, 0, k);
+      comb_cells<StrandT, CombMode::kKernel>(fn, ra, pb, s2.h.data(), s2.v.data(), m, 0, k);
     }
   }
 
   const Permutation b1 = build_subbraid(s1.h.data(), s1.v.data(), m, n, &pos1);
   const Permutation b2 = build_subbraid(s2.h.data(), s2.v.data(), m, n, &pos2);
   const Permutation b3 = build_subbraid(s3.h.data(), s3.v.data(), m, n, nullptr);
-  const Permutation stitched = multiply(multiply(b1, b2, ant), b3, ant);
+  const Permutation stitched =
+      multiply(multiply(b1, b2, ant, &ws.ant()), b3, ant, &ws.ant());
   return SemiLocalKernel(stitched, m, n);
 }
 
@@ -392,27 +410,31 @@ SemiLocalKernel comb_rowmajor(SequenceView a, SequenceView b) {
   return SemiLocalKernel(build_kernel(h.data(), v.data(), m, n), m, n);
 }
 
-SemiLocalKernel comb_antidiag(SequenceView a, SequenceView b, const CombOptions& opts) {
+SemiLocalKernel comb_antidiag(SequenceView a, SequenceView b, const CombOptions& opts,
+                              Workspace* ws) {
   const Index m = static_cast<Index>(a.size());
   const Index n = static_cast<Index>(b.size());
   if (m == 0 || n == 0) return empty_kernel(m, n);
-  if (m > n) return comb_antidiag(b, a, opts).flipped();
+  if (m > n) return comb_antidiag(b, a, opts, ws).flipped();
+  Workspace& w = ws ? *ws : tls_workspace();
   if (opts.allow_16bit && fits_16bit(m, n)) {
-    return antidiag_typed<std::uint16_t>(a, b, opts);
+    return antidiag_typed<std::uint16_t>(a, b, opts, w);
   }
-  return antidiag_typed<std::uint32_t>(a, b, opts);
+  return antidiag_typed<std::uint32_t>(a, b, opts, w);
 }
 
 SemiLocalKernel comb_load_balanced(SequenceView a, SequenceView b,
-                                   const CombOptions& opts, const SteadyAntOptions& ant) {
+                                   const CombOptions& opts, const SteadyAntOptions& ant,
+                                   Workspace* ws) {
   const Index m = static_cast<Index>(a.size());
   const Index n = static_cast<Index>(b.size());
   if (m == 0 || n == 0) return empty_kernel(m, n);
-  if (m > n) return comb_load_balanced(b, a, opts, ant).flipped();
+  if (m > n) return comb_load_balanced(b, a, opts, ant, ws).flipped();
+  Workspace& w = ws ? *ws : tls_workspace();
   if (opts.allow_16bit && fits_16bit(m, n)) {
-    return load_balanced_typed<std::uint16_t>(a, b, opts, ant);
+    return load_balanced_typed<std::uint16_t>(a, b, opts, ant, w);
   }
-  return load_balanced_typed<std::uint32_t>(a, b, opts, ant);
+  return load_balanced_typed<std::uint32_t>(a, b, opts, ant, w);
 }
 
 }  // namespace semilocal

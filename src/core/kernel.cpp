@@ -98,7 +98,7 @@ Permutation append_identity(const Permutation& p, Index k) {
 
 SemiLocalKernel compose_horizontal(const SemiLocalKernel& first,
                                    const SemiLocalKernel& second,
-                                   const SteadyAntOptions& opts) {
+                                   const SteadyAntOptions& opts, AntWorkspace* ws) {
   if (first.n() != second.n()) {
     throw std::invalid_argument("compose_horizontal: kernels must share b");
   }
@@ -106,16 +106,16 @@ SemiLocalKernel compose_horizontal(const SemiLocalKernel& first,
   const Index m2 = second.m();
   const Permutation x = prepend_identity(first.permutation(), m2);
   const Permutation y = append_identity(second.permutation(), m1);
-  return SemiLocalKernel(multiply(x, y, opts), m1 + m2, first.n());
+  return SemiLocalKernel(multiply(x, y, opts, ws), m1 + m2, first.n());
 }
 
 SemiLocalKernel compose_vertical(const SemiLocalKernel& first,
                                  const SemiLocalKernel& second,
-                                 const SteadyAntOptions& opts) {
+                                 const SteadyAntOptions& opts, AntWorkspace* ws) {
   if (first.m() != second.m()) {
     throw std::invalid_argument("compose_vertical: kernels must share a");
   }
-  return compose_horizontal(first.flipped(), second.flipped(), opts).flipped();
+  return compose_horizontal(first.flipped(), second.flipped(), opts, ws).flipped();
 }
 
 }  // namespace semilocal

@@ -108,15 +108,18 @@ class SemiLocalKernel {
 
 /// Kernel composition along a-concatenation (Theorem 3.4): from P_{a',b} and
 /// P_{a'',b} builds P_{a'a'',b} = (Id_{m''} (+) P') (.) (P'' (+) Id_{m'}).
+/// `ws` (optional) supplies reusable steady-ant scratch.
 SemiLocalKernel compose_horizontal(const SemiLocalKernel& first,
                                    const SemiLocalKernel& second,
-                                   const SteadyAntOptions& opts = {});
+                                   const SteadyAntOptions& opts = {},
+                                   AntWorkspace* ws = nullptr);
 
 /// Kernel composition along b-concatenation: from P_{a,b'} and P_{a,b''}
 /// builds P_{a,b'b''} by flipping, composing horizontally, flipping back.
 SemiLocalKernel compose_vertical(const SemiLocalKernel& first,
                                  const SemiLocalKernel& second,
-                                 const SteadyAntOptions& opts = {});
+                                 const SteadyAntOptions& opts = {},
+                                 AntWorkspace* ws = nullptr);
 
 /// Direct sum helpers on permutations: identity block before / after.
 Permutation prepend_identity(const Permutation& p, Index k);

@@ -1,0 +1,31 @@
+#include "core/workspace.hpp"
+
+#include <algorithm>
+
+namespace semilocal {
+
+std::span<const Symbol> Workspace::reversed(SequenceView a) {
+  if (a_rev_.size() < a.size()) {
+    ++a_rev_growths_;
+    a_rev_.reserve(std::bit_ceil(a.size()));
+    a_rev_.resize(a.size());
+  }
+  std::reverse_copy(a.begin(), a.end(), a_rev_.begin());
+  return {a_rev_.data(), a.size()};
+}
+
+void Workspace::reset() {
+  u16_.reset();
+  u32_.reset();
+}
+
+std::size_t Workspace::growth_events() const {
+  return a_rev_growths_ + u16_.growths() + u32_.growths() + ant_.growth_events();
+}
+
+Workspace& tls_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace semilocal
