@@ -1,0 +1,177 @@
+// Comparison-engine serving benchmark: throughput and latency percentiles
+// of the store + cache + scheduler stack under three request mixes, written
+// to results/bench_engine.json.
+//
+//   cold      every request is a distinct pair -- pure compute, batching is
+//             the only lever (lower bound on serving throughput).
+//   warm      a small pool requested many times over -- steady state is all
+//             LRU hits, measuring the query-off-cached-kernel path.
+//   coalesced many client threads hammer the same few pairs concurrently --
+//             duplicate in-flight requests must fold into one computation.
+//
+// Engine stats are recorded alongside the client-side numbers so a regression
+// in the *policy* (recompute where a hit was possible) is visible, not just a
+// slowdown. SEMILOCAL_BENCH_SCALE scales pair length as usual.
+#include "common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "util/random.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+namespace {
+
+struct MixResult {
+  std::string name;
+  int requests = 0;
+  int distinct_pairs = 0;
+  int client_threads = 0;
+  double elapsed_s = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  EngineStats stats;
+
+  [[nodiscard]] double throughput() const {
+    return elapsed_s > 0 ? static_cast<double>(requests) / elapsed_s : 0.0;
+  }
+};
+
+std::vector<std::pair<Sequence, Sequence>> make_pool(int pairs, Index length,
+                                                     std::uint64_t seed) {
+  std::vector<std::pair<Sequence, Sequence>> pool;
+  pool.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    const auto base = seed + static_cast<std::uint64_t>(p) * 2;
+    pool.emplace_back(uniform_sequence(length, 4, base), uniform_sequence(length, 4, base + 1));
+  }
+  return pool;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Issues `requests` LCS queries round-robin over `pool` from
+/// `client_threads` threads against a fresh engine; `prewarm` requests each
+/// pair once first (excluded from timing).
+MixResult run_mix(const std::string& name, int pairs, int requests, int client_threads,
+                  Index length, bool prewarm) {
+  MixResult result;
+  result.name = name;
+  result.requests = requests;
+  result.distinct_pairs = pairs;
+  result.client_threads = client_threads;
+
+  const auto pool = make_pool(pairs, length, 1000 + std::hash<std::string>{}(name) % 1000);
+  EngineOptions options;  // no disk tier: isolate cache + scheduler behavior
+  options.scheduler.workers = hardware_threads();
+  options.scheduler.max_queue = static_cast<std::size_t>(std::max(1024, requests));
+  ComparisonEngine engine(options);
+  if (prewarm) {
+    for (const auto& [a, b] : pool) (void)engine.lcs(a, b);
+  }
+
+  std::vector<std::vector<double>> per_thread(static_cast<std::size_t>(client_threads));
+  std::vector<std::thread> team;
+  // Gate all clients on a start barrier: without it, thread-spawn latency
+  // staggers the first wave and concurrent duplicates never materialize.
+  std::atomic<int> at_gate{0};
+  Timer wall;
+  for (int t = 0; t < client_threads; ++t) {
+    team.emplace_back([&, t] {
+      auto& latencies = per_thread[static_cast<std::size_t>(t)];
+      at_gate.fetch_add(1);
+      while (at_gate.load() < client_threads) std::this_thread::yield();
+      for (int i = t; i < requests; i += client_threads) {
+        const auto& [a, b] = pool[static_cast<std::size_t>(i) % pool.size()];
+        Timer timer;
+        (void)engine.lcs(a, b);
+        latencies.push_back(timer.milliseconds());
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  result.elapsed_s = wall.seconds();
+
+  std::vector<double> merged;
+  for (const auto& v : per_thread) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = percentile(merged, 0.50);
+  result.p90_ms = percentile(merged, 0.90);
+  result.p99_ms = percentile(merged, 0.99);
+  result.max_ms = merged.empty() ? 0.0 : merged.back();
+  result.stats = engine.stats();
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<MixResult>& mixes,
+                Index length) {
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"workers\": " << hardware_threads() << ",\n";
+  out << "  \"pair_length\": " << length << ",\n";
+  out << "  \"mixes\": [\n";
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const MixResult& m = mixes[i];
+    out << "    {\"name\": \"" << m.name << "\", \"requests\": " << m.requests
+        << ", \"distinct_pairs\": " << m.distinct_pairs
+        << ", \"client_threads\": " << m.client_threads
+        << ", \"elapsed_s\": " << m.elapsed_s
+        << ", \"throughput_req_s\": " << m.throughput()
+        << ",\n     \"p50_ms\": " << m.p50_ms << ", \"p90_ms\": " << m.p90_ms
+        << ", \"p99_ms\": " << m.p99_ms << ", \"max_ms\": " << m.max_ms
+        << ",\n     \"computed\": " << m.stats.scheduler.computed
+        << ", \"coalesced\": " << m.stats.scheduler.coalesced
+        << ", \"cache_hits\": " << m.stats.store.cache.hits
+        << ", \"cache_hit_rate\": " << m.stats.cache_hit_rate() << "}"
+        << (i + 1 < mixes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "engine report written to " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const Index length = scaled(2000);
+  // Client threads mostly block on futures, so run more of them than cores:
+  // concurrency (and thus coalescing) should show even on small machines.
+  const int threads = std::max(8, hardware_threads());
+
+  std::vector<MixResult> mixes;
+  // Cold: 64 distinct pairs, each requested exactly once.
+  mixes.push_back(run_mix("cold_cache", 64, 64, threads, length, /*prewarm=*/false));
+  // Warm: 16 pairs requested 512 times after a prewarm pass.
+  mixes.push_back(run_mix("warm_cache", 16, 512, threads, length, /*prewarm=*/true));
+  // Coalesced: 4 pairs, 256 concurrent requests against a cold engine.
+  mixes.push_back(run_mix("coalesced_duplicates", 4, 256, threads, length,
+                          /*prewarm=*/false));
+
+  Table table({"mix", "requests", "throughput_req_s", "p50_ms", "p99_ms", "computed",
+               "coalesced", "cache_hit_rate"});
+  for (const MixResult& m : mixes) {
+    table.row()
+        .cell(m.name)
+        .cell(static_cast<long long>(m.requests))
+        .cell(m.throughput(), 1)
+        .cell(m.p50_ms, 3)
+        .cell(m.p99_ms, 3)
+        .cell(static_cast<long long>(m.stats.scheduler.computed))
+        .cell(static_cast<long long>(m.stats.scheduler.coalesced))
+        .cell(m.stats.cache_hit_rate(), 3);
+  }
+  table.print(std::cout, "comparison engine serving mixes");
+  write_json("results/bench_engine.json", mixes, length);
+  return 0;
+}

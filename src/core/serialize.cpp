@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -11,7 +12,17 @@ namespace semilocal {
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'S', 'L', 'K', 'E', 'R', 'N', 'L', '\0'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a 64-bit FNV-1a checksum over (m, n, payload) so that any
+// corruption -- including dimension-field flips that still parse -- is caught
+// deterministically instead of relying on permutation validation to notice.
+// The unchecksummed version 1 is deliberately not accepted: a reader that
+// falls back to a weaker format on a corrupted version field defeats the
+// checksum, and no persistent v1 stores predate the kernel store.
+constexpr std::uint32_t kVersion = 2;
+
+// Largest supported braid order. Keeps the payload allocation bounded and the
+// entry values representable in int32.
+constexpr std::int64_t kMaxOrder = std::int64_t{1} << 31;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -26,16 +37,36 @@ T read_pod(std::istream& in) {
   return value;
 }
 
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t payload_checksum(std::int64_t m, std::int64_t n,
+                               const std::vector<std::int32_t>& row_to_col) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = fnv1a(hash, &m, sizeof(m));
+  hash = fnv1a(hash, &n, sizeof(n));
+  return fnv1a(hash, row_to_col.data(), row_to_col.size() * sizeof(std::int32_t));
+}
+
 }  // namespace
 
 void save_kernel(std::ostream& out, const SemiLocalKernel& kernel) {
   out.write(kMagic.data(), kMagic.size());
   write_pod(out, kVersion);
-  write_pod(out, static_cast<std::int64_t>(kernel.m()));
-  write_pod(out, static_cast<std::int64_t>(kernel.n()));
+  const auto m = static_cast<std::int64_t>(kernel.m());
+  const auto n = static_cast<std::int64_t>(kernel.n());
+  write_pod(out, m);
+  write_pod(out, n);
   const auto& row_to_col = kernel.permutation().row_to_col();
   out.write(reinterpret_cast<const char*>(row_to_col.data()),
             static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
+  write_pod(out, payload_checksum(m, n, row_to_col));
   if (!out) throw std::runtime_error("save_kernel: write failed");
 }
 
@@ -49,13 +80,22 @@ SemiLocalKernel load_kernel(std::istream& in) {
   }
   const auto m = read_pod<std::int64_t>(in);
   const auto n = read_pod<std::int64_t>(in);
-  if (m < 0 || n < 0 || m + n > (std::int64_t{1} << 31)) {
+  // Bound each dimension before summing: a corrupted size field near
+  // INT64_MAX must not overflow `m + n` (UB) or drive a giant allocation.
+  if (m < 0 || n < 0 || m > kMaxOrder || n > kMaxOrder || m + n > kMaxOrder) {
     throw std::runtime_error("load_kernel: implausible dimensions");
   }
   std::vector<std::int32_t> row_to_col(static_cast<std::size_t>(m + n));
   in.read(reinterpret_cast<char*>(row_to_col.data()),
           static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
-  if (!in) throw std::runtime_error("load_kernel: truncated permutation data");
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t))) {
+    throw std::runtime_error("load_kernel: truncated permutation data");
+  }
+  const auto stored = read_pod<std::uint64_t>(in);
+  if (stored != payload_checksum(m, n, row_to_col)) {
+    throw std::runtime_error("load_kernel: checksum mismatch (corrupt stream)");
+  }
   Permutation perm;
   try {
     perm = Permutation::from_row_to_col(std::move(row_to_col));

@@ -1,0 +1,83 @@
+#include "engine/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace semilocal {
+
+CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
+                                    KernelStore& store, const SemiLocalOptions& opts,
+                                    bool parallel) {
+  std::vector<Sequence> packed;
+  packed.reserve(records.size());
+  for (const FastaRecord& record : records) packed.push_back(pack_dna(record.residues));
+
+  CorpusBuildReport report;
+  std::vector<SequencePair> pairs;  // the subset of pairs needing compute
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t j = i + 1; j < records.size(); ++j) {
+      const PairKey key = make_pair_key(packed[i], packed[j]);
+      report.entries.push_back(CorpusIndexEntry{
+          .id_a = records[i].id,
+          .id_b = records[j].id,
+          .m = static_cast<Index>(packed[i].size()),
+          .n = static_cast<Index>(packed[j].size()),
+          .key_hex = key.hex()});
+      if (store.on_disk(key)) {
+        ++report.reused;
+        continue;
+      }
+      pairs.push_back({packed[i], packed[j]});
+    }
+  }
+
+  // Chunked so a large corpus never holds more than one batch of kernels in
+  // memory on top of the store cache.
+  constexpr std::size_t kChunk = 256;
+  SemiLocalOptions batch_opts = opts;
+  batch_opts.parallel = parallel;
+  for (std::size_t base = 0; base < pairs.size(); base += kChunk) {
+    const std::size_t count = std::min(kChunk, pairs.size() - base);
+    auto kernels = semi_local_kernel_batch({pairs.data() + base, count}, batch_opts);
+    for (std::size_t k = 0; k < count; ++k) {
+      const SequencePair& pair = pairs[base + k];
+      store.put(make_pair_key(pair.a, pair.b),
+                std::make_shared<const SemiLocalKernel>(std::move(kernels[k])));
+      ++report.computed;
+    }
+  }
+  return report;
+}
+
+void write_corpus_index(const std::string& path,
+                        const std::vector<CorpusIndexEntry>& entries) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_corpus_index: cannot open " + path);
+  out << "#id_a\tid_b\tm\tn\tkey\n";
+  for (const CorpusIndexEntry& e : entries) {
+    out << e.id_a << '\t' << e.id_b << '\t' << e.m << '\t' << e.n << '\t' << e.key_hex
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("write_corpus_index: write failed");
+}
+
+std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_corpus_index: cannot open " + path);
+  std::vector<CorpusIndexEntry> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    CorpusIndexEntry entry;
+    if (!(fields >> entry.id_a >> entry.id_b >> entry.m >> entry.n >> entry.key_hex)) {
+      throw std::runtime_error("read_corpus_index: malformed line: " + line);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace semilocal

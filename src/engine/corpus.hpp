@@ -1,0 +1,49 @@
+// Corpus precompute: FASTA records -> a populated kernel store + index.
+//
+// The canonical precompute-then-query workload (Krusche-Tiskin alignment
+// plots): every record pair of a corpus gets its semi-local kernel computed
+// once, persisted content-addressed in a KernelStore, and listed in a
+// human-readable index (`index.tsv`) that maps record-id pairs back to store
+// keys so query tools can find kernels by name without rehashing sequences.
+// Residues are packed with pack_dna before hashing/combing, matching what a
+// DNA-mode server does to incoming requests -- the same pair therefore lands
+// on the same store key whether it arrives via CLI precompute or the wire.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "engine/kernel_store.hpp"
+#include "util/fasta.hpp"
+
+namespace semilocal {
+
+struct CorpusIndexEntry {
+  std::string id_a;
+  std::string id_b;
+  Index m = 0;
+  Index n = 0;
+  std::string key_hex;
+};
+
+struct CorpusBuildReport {
+  std::vector<CorpusIndexEntry> entries;  ///< one per record pair (i < j)
+  std::size_t computed = 0;               ///< kernels computed this run
+  std::size_t reused = 0;                 ///< pairs already on disk (skipped)
+};
+
+/// Computes and persists the kernels of all record pairs (i < j). Pairs whose
+/// kernel file already exists are skipped, so interrupted runs resume. With
+/// `parallel`, pairs are computed through the batched API (pairs are the
+/// parallel unit; see core/api.hpp).
+CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
+                                    KernelStore& store, const SemiLocalOptions& opts,
+                                    bool parallel);
+
+/// Writes / reads the tab-separated index (id_a, id_b, m, n, key).
+void write_corpus_index(const std::string& path,
+                        const std::vector<CorpusIndexEntry>& entries);
+std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path);
+
+}  // namespace semilocal

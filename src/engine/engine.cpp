@@ -1,0 +1,54 @@
+#include "engine/engine.hpp"
+
+namespace semilocal {
+namespace {
+
+std::shared_future<KernelPtr> ready_future(KernelPtr kernel) {
+  std::promise<KernelPtr> promise;
+  promise.set_value(std::move(kernel));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+ComparisonEngine::ComparisonEngine(EngineOptions options)
+    : store_(options.store), scheduler_(store_, options.scheduler, &latency_) {}
+
+std::shared_future<KernelPtr> ComparisonEngine::kernel_async(SequenceView a,
+                                                             SequenceView b) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const PairKey key = make_pair_key(a, b);
+  Timer lookup;
+  if (KernelPtr hit = store_.find(key)) {
+    latency_.record(lookup.milliseconds());
+    return ready_future(std::move(hit));
+  }
+  return scheduler_.submit(key, Sequence(a.begin(), a.end()), Sequence(b.begin(), b.end()));
+}
+
+KernelPtr ComparisonEngine::kernel(SequenceView a, SequenceView b) {
+  return kernel_async(a, b).get();
+}
+
+Index ComparisonEngine::lcs(SequenceView a, SequenceView b) {
+  return kernel_lcs(*kernel(a, b));
+}
+
+Index ComparisonEngine::string_substring(SequenceView a, SequenceView b, Index j0,
+                                         Index j1) {
+  return kernel_string_substring(*kernel(a, b), j0, j1);
+}
+
+Index ComparisonEngine::substring_string(SequenceView a, SequenceView b, Index i0,
+                                         Index i1) {
+  return kernel_substring_string(*kernel(a, b), i0, i1);
+}
+
+EngineStats ComparisonEngine::stats() const {
+  return EngineStats{.requests = requests_.load(std::memory_order_relaxed),
+                     .store = store_.stats(),
+                     .scheduler = scheduler_.stats(),
+                     .latency = latency_.snapshot()};
+}
+
+}  // namespace semilocal

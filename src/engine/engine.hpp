@@ -1,0 +1,83 @@
+// The comparison engine: store + cache + scheduler behind one facade.
+//
+// A ComparisonEngine is the long-lived object a server holds: it owns the
+// kernel store (disk tier + LRU cache), the batching scheduler, and the
+// latency samples, and exposes the query layer that answers LCS-score and
+// substring-LCS requests straight off cached kernels. The flow per request:
+//
+//   request --> content hash --> cache hit? ----------------> answer
+//                                  | miss
+//                                  v
+//                            disk hit? (load, promote) -----> answer
+//                                  | miss
+//                                  v
+//                            scheduler (coalesce, batch,
+//                            bounded queue) --> compute -----> store.put
+//
+// Repeated pairs therefore cost one computation for the lifetime of the
+// store -- the engine stats counters make that auditable (computed stays at
+// the number of distinct pairs while requests grows).
+#pragma once
+
+#include <atomic>
+#include <future>
+
+#include "engine/kernel_store.hpp"
+#include "engine/latency.hpp"
+#include "engine/query.hpp"
+#include "engine/scheduler.hpp"
+
+namespace semilocal {
+
+struct EngineOptions {
+  KernelStoreOptions store;
+  SchedulerOptions scheduler;
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;  ///< kernel acquisitions (all query kinds)
+  KernelStoreStats store;
+  SchedulerStats scheduler;
+  LatencyRecorder::Percentiles latency;
+
+  /// Fraction of requests served from the in-memory cache.
+  [[nodiscard]] double cache_hit_rate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(store.cache.hits) / static_cast<double>(requests);
+  }
+};
+
+class ComparisonEngine {
+ public:
+  explicit ComparisonEngine(EngineOptions options = {});
+
+  /// The kernel of (a, b): cache, then disk, then scheduled compute.
+  /// Blocking; throws EngineOverloaded under backpressure.
+  KernelPtr kernel(SequenceView a, SequenceView b);
+
+  /// Non-blocking variant: the future resolves when the kernel is ready.
+  /// Cache and disk hits return an already-resolved future.
+  std::shared_future<KernelPtr> kernel_async(SequenceView a, SequenceView b);
+
+  /// Query layer: answers off the (possibly cached) kernel via the
+  /// stateless thread-safe scans in engine/query.hpp.
+  Index lcs(SequenceView a, SequenceView b);
+  Index string_substring(SequenceView a, SequenceView b, Index j0, Index j1);
+  Index substring_string(SequenceView a, SequenceView b, Index i0, Index i1);
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Runs queued work on the calling thread (see KernelScheduler::drain).
+  std::size_t drain() { return scheduler_.drain(); }
+
+  [[nodiscard]] KernelStore& store() { return store_; }
+
+ private:
+  KernelStore store_;
+  LatencyRecorder latency_;
+  KernelScheduler scheduler_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace semilocal

@@ -1,0 +1,88 @@
+#include "engine/kernel_store.hpp"
+
+#include <atomic>
+#include <filesystem>
+
+#include "core/serialize.hpp"
+
+namespace semilocal {
+
+namespace fs = std::filesystem;
+
+KernelStore::KernelStore(KernelStoreOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {
+  if (!options_.dir.empty()) fs::create_directories(options_.dir);
+}
+
+std::string KernelStore::path_for(const PairKey& key) const {
+  return (fs::path(options_.dir) / (key.hex() + ".slk")).string();
+}
+
+KernelPtr KernelStore::find(const PairKey& key) {
+  {
+    std::lock_guard lock(mutex_);
+    if (KernelPtr hit = cache_.get(key)) return hit;
+  }
+  if (options_.dir.empty()) return nullptr;
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return nullptr;
+  KernelPtr loaded;
+  try {
+    loaded = std::make_shared<const SemiLocalKernel>(load_kernel_file(path));
+  } catch (const std::exception&) {
+    std::lock_guard lock(mutex_);
+    ++disk_errors_;
+    return nullptr;
+  }
+  // Cheap sanity check that the file really is the kernel of this pair's
+  // lengths; a content-hash filename collision across sizes cannot happen
+  // (lengths are part of the key), so a mismatch means a foreign file.
+  if (loaded->m() != key.len_a || loaded->n() != key.len_b) {
+    std::lock_guard lock(mutex_);
+    ++disk_errors_;
+    return nullptr;
+  }
+  std::lock_guard lock(mutex_);
+  ++disk_hits_;
+  cache_.put(key, loaded);
+  return loaded;
+}
+
+void KernelStore::put(const PairKey& key, KernelPtr kernel) {
+  if (!kernel) return;
+  bool write_disk = false;
+  {
+    std::lock_guard lock(mutex_);
+    cache_.put(key, kernel);
+    if (options_.persist && !options_.dir.empty()) {
+      write_disk = true;
+      ++disk_writes_;
+    }
+  }
+  if (!write_disk) return;
+  // Unique temp name so concurrent writers of the same key can't interleave
+  // into one file; the final rename is atomic within the directory.
+  static std::atomic<std::uint64_t> tmp_serial{0};
+  const std::string path = path_for(key);
+  const std::string tmp =
+      path + ".tmp" + std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
+  save_kernel_file(tmp, *kernel);
+  fs::rename(tmp, path);
+}
+
+bool KernelStore::on_disk(const PairKey& key) const {
+  if (options_.dir.empty()) return false;
+  std::error_code ec;
+  return fs::exists(path_for(key), ec);
+}
+
+KernelStoreStats KernelStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return KernelStoreStats{.cache = cache_.stats(),
+                          .disk_hits = disk_hits_,
+                          .disk_errors = disk_errors_,
+                          .disk_writes = disk_writes_};
+}
+
+}  // namespace semilocal

@@ -1,0 +1,69 @@
+// Persistent kernel corpus with an in-memory LRU front.
+//
+// A store is a directory of content-addressed kernel files
+// (`<pair-key-hex>.slk`, the core/serialize format) fronted by a
+// byte-budgeted LRU cache. Lookups probe the cache first, then the
+// directory; disk hits are promoted into the cache so a working set served
+// repeatedly settles into pure memory hits. Writes go through a
+// temp-file + rename so a crashed or killed writer never leaves a torn
+// kernel behind for a reader to choke on.
+//
+// Thread-safe: one mutex serializes cache metadata, while serialization I/O
+// happens outside the lock (the file an entry maps to is immutable once
+// renamed into place).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "engine/lru_cache.hpp"
+
+namespace semilocal {
+
+struct KernelStoreOptions {
+  /// Directory of persisted kernels. Empty disables the disk tier (the
+  /// store is then just the shared LRU cache).
+  std::string dir;
+  /// In-memory LRU budget.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+  /// Persist kernels inserted via put() to the disk tier.
+  bool persist = true;
+};
+
+struct KernelStoreStats {
+  LruCacheStats cache;
+  std::uint64_t disk_hits = 0;    ///< found on disk after a cache miss
+  std::uint64_t disk_errors = 0;  ///< unreadable/corrupt files (treated as misses)
+  std::uint64_t disk_writes = 0;
+};
+
+class KernelStore {
+ public:
+  explicit KernelStore(KernelStoreOptions options);
+
+  /// Cache, then disk. nullptr if the pair is in neither tier.
+  KernelPtr find(const PairKey& key);
+
+  /// Inserts into the cache and (if configured) persists to disk.
+  void put(const PairKey& key, KernelPtr kernel);
+
+  /// True iff the disk tier holds this key (cache not consulted).
+  [[nodiscard]] bool on_disk(const PairKey& key) const;
+
+  [[nodiscard]] KernelStoreStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return options_.dir; }
+
+ private:
+  [[nodiscard]] std::string path_for(const PairKey& key) const;
+
+  KernelStoreOptions options_;
+  mutable std::mutex mutex_;
+  LruKernelCache cache_;
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t disk_errors_ = 0;
+  std::uint64_t disk_writes_ = 0;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,44 @@
+#include "engine/key.hpp"
+
+#include <array>
+
+namespace semilocal {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+}  // namespace
+
+std::uint64_t sequence_digest(SequenceView s) {
+  std::uint64_t hash = kFnvOffset;
+  for (const Symbol sym : s) {
+    auto v = static_cast<std::uint32_t>(sym);
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= v & 0xffU;
+      hash *= kFnvPrime;
+      v >>= 8;
+    }
+  }
+  return hash;
+}
+
+PairKey make_pair_key(SequenceView a, SequenceView b) {
+  return PairKey{.hash_a = sequence_digest(a),
+                 .hash_b = sequence_digest(b),
+                 .len_a = static_cast<Index>(a.size()),
+                 .len_b = static_cast<Index>(b.size())};
+}
+
+std::string PairKey::hex() const {
+  static constexpr std::array<char, 16> kDigits = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                                   '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(hash_a >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(hash_b >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,32 @@
+#include "engine/latency.hpp"
+
+#include <algorithm>
+
+namespace semilocal {
+
+LatencyRecorder::Percentiles LatencyRecorder::snapshot() const {
+  std::vector<double> samples;
+  std::uint64_t count = 0;
+  {
+    std::lock_guard lock(mutex_);
+    count = count_;
+    const auto retained = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count_, static_cast<std::uint64_t>(ring_.size())));
+    samples.assign(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(retained));
+  }
+  Percentiles out;
+  out.count = count;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  out.p50_ms = at(0.50);
+  out.p90_ms = at(0.90);
+  out.p99_ms = at(0.99);
+  out.max_ms = samples.back();
+  return out;
+}
+
+}  // namespace semilocal

@@ -1,0 +1,42 @@
+// Bounded latency sampling for the engine stats endpoint.
+//
+// A fixed ring of recent samples, overwritten oldest-first: percentile
+// queries reflect current behaviour rather than the whole process lifetime,
+// and memory stays constant under unbounded request counts. Snapshotting
+// copies and sorts the ring -- O(capacity log capacity), cheap at the stats
+// endpoint's call rate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace semilocal {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t capacity = 4096) : ring_(capacity, 0.0) {}
+
+  void record(double ms) {
+    std::lock_guard lock(mutex_);
+    ring_[static_cast<std::size_t>(count_ % ring_.size())] = ms;
+    ++count_;
+  }
+
+  struct Percentiles {
+    std::uint64_t count = 0;  ///< total samples recorded (not just retained)
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  [[nodiscard]] Percentiles snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,59 @@
+#include "engine/lru_cache.hpp"
+
+namespace semilocal {
+
+std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel) {
+  const auto order = static_cast<std::size_t>(kernel.order());
+  // row_to_col + col_to_row entries, plus object/bookkeeping overhead.
+  return 2 * order * sizeof(Permutation::Entry) + 128;
+}
+
+KernelPtr LruKernelCache::get(const PairKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->kernel;
+}
+
+void LruKernelCache::put(const PairKey& key, KernelPtr kernel) {
+  if (!kernel) return;
+  const std::size_t bytes = kernel_resident_bytes(*kernel);
+  if (bytes > budget_) return;  // would evict everything and still not fit
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    bytes_ += bytes;
+    it->second->kernel = std::move(kernel);
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(kernel), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+  }
+  evict_to_budget();
+}
+
+void LruKernelCache::evict_to_budget() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+LruCacheStats LruKernelCache::stats() const {
+  return LruCacheStats{.hits = hits_,
+                       .misses = misses_,
+                       .evictions = evictions_,
+                       .entries = lru_.size(),
+                       .bytes = bytes_,
+                       .budget_bytes = budget_};
+}
+
+}  // namespace semilocal

@@ -1,0 +1,74 @@
+// Byte-budgeted LRU cache of semi-local kernels, keyed by content hash.
+//
+// The cached value is a shared_ptr<const SemiLocalKernel>: eviction drops the
+// cache's reference while in-flight queries keep theirs, so a kernel is never
+// freed under a reader. Capacity is a byte budget, not an entry count --
+// kernels scale with m + n, and a serving cache mixing 1 kb and 1 Mb kernels
+// needs to account for that. Counters (hits / misses / evictions) feed the
+// engine stats endpoint.
+//
+// Not internally synchronized: the owner (KernelStore) serializes access.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/kernel.hpp"
+#include "engine/key.hpp"
+
+namespace semilocal {
+
+/// Shared ownership handle the engine hands out for cached kernels.
+using KernelPtr = std::shared_ptr<const SemiLocalKernel>;
+
+/// Approximate resident bytes of a kernel: the two permutation maps plus a
+/// fixed object overhead. Query accelerators (mergesort tree etc.) are never
+/// built on cached kernels, so they don't count.
+std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel);
+
+/// Counters exposed through EngineStats.
+struct LruCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+class LruKernelCache {
+ public:
+  /// A zero budget disables caching (every get misses, puts are dropped).
+  explicit LruKernelCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+  /// Returns the cached kernel and marks it most-recently-used, or nullptr.
+  KernelPtr get(const PairKey& key);
+
+  /// Inserts (or refreshes) an entry, then evicts least-recently-used
+  /// entries until the budget holds. An entry larger than the whole budget
+  /// is not cached at all.
+  void put(const PairKey& key, KernelPtr kernel);
+
+  [[nodiscard]] LruCacheStats stats() const;
+
+ private:
+  struct Entry {
+    PairKey key;
+    KernelPtr kernel;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_budget();
+
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PairKey, std::list<Entry>::iterator, PairKeyHash> index_;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,178 @@
+#include "engine/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <span>
+
+namespace semilocal {
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint32_t u32() {
+    const auto bytes = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  std::int64_t i64() {
+    const auto bytes = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+    return static_cast<std::int64_t>(v);
+  }
+
+  Sequence sequence(std::size_t n) {
+    const auto bytes = take(n);
+    Sequence out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<Symbol>(bytes[i]));
+    return out;
+  }
+
+  std::string text(std::size_t n) {
+    const auto bytes = take(n);
+    return std::string(reinterpret_cast<const char*>(bytes.data()), n);
+  }
+
+  void expect_end() const {
+    if (pos_ != data_.size()) throw ProtocolError("payload has trailing bytes");
+  }
+
+ private:
+  std::span<const unsigned char> take(std::size_t n) {
+    if (data_.size() - pos_ < n) throw ProtocolError("payload truncated");
+    const auto* base = reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    pos_ += n;
+    return {base, n};
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void append_sequence_bytes(std::string& out, SequenceView s) {
+  for (const Symbol sym : s) out.push_back(static_cast<char>(sym & 0xff));
+}
+
+}  // namespace
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload exceeds limit");
+  }
+  // One buffer, one write: over an unbuffered socket stream, a separate
+  // 4-byte header write would cost a Nagle/delayed-ACK round trip per frame.
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("write_frame: stream failure");
+}
+
+std::optional<std::string> read_frame(std::istream& in) {
+  char header[4];
+  in.read(header, 1);
+  if (in.gcount() == 0) return std::nullopt;  // clean EOF between frames
+  in.read(header + 1, 3);
+  if (!in || in.gcount() != 3) throw ProtocolError("truncated frame header");
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | static_cast<unsigned char>(header[i]);
+  }
+  if (len > kMaxFrameBytes) throw ProtocolError("frame length exceeds limit");
+  std::string payload(len, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(len));
+  if (!in || in.gcount() != static_cast<std::streamsize>(len)) {
+    throw ProtocolError("truncated frame payload");
+  }
+  return payload;
+}
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  out.reserve(21 + request.a.size() + request.b.size());
+  out.push_back(static_cast<char>(request.op));
+  append_i64(out, request.x);
+  append_i64(out, request.y);
+  append_u32(out, static_cast<std::uint32_t>(request.a.size()));
+  append_u32(out, static_cast<std::uint32_t>(request.b.size()));
+  append_sequence_bytes(out, request.a);
+  append_sequence_bytes(out, request.b);
+  return out;
+}
+
+Request decode_request(std::string_view payload) {
+  Reader reader(payload);
+  Request request;
+  const auto op = reader.u8();
+  switch (static_cast<Op>(op)) {
+    case Op::kPing:
+    case Op::kLcs:
+    case Op::kStringSubstring:
+    case Op::kSubstringString:
+    case Op::kStats:
+      request.op = static_cast<Op>(op);
+      break;
+    default:
+      throw ProtocolError("unknown request op " + std::to_string(op));
+  }
+  request.x = reader.i64();
+  request.y = reader.i64();
+  const std::uint32_t la = reader.u32();
+  const std::uint32_t lb = reader.u32();
+  request.a = reader.sequence(la);
+  request.b = reader.sequence(lb);
+  reader.expect_end();
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  out.reserve(21 + response.text.size());
+  out.push_back(static_cast<char>(response.status));
+  append_i64(out, response.value);
+  append_i64(out, response.retry_ms);
+  append_u32(out, static_cast<std::uint32_t>(response.text.size()));
+  out += response.text;
+  return out;
+}
+
+Response decode_response(std::string_view payload) {
+  Reader reader(payload);
+  Response response;
+  const auto status = reader.u8();
+  switch (static_cast<Status>(status)) {
+    case Status::kOk:
+    case Status::kError:
+    case Status::kOverloaded:
+      response.status = static_cast<Status>(status);
+      break;
+    default:
+      throw ProtocolError("unknown response status " + std::to_string(status));
+  }
+  response.value = reader.i64();
+  response.retry_ms = reader.i64();
+  const std::uint32_t len = reader.u32();
+  response.text = reader.text(len);
+  reader.expect_end();
+  return response;
+}
+
+}  // namespace semilocal

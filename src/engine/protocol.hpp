@@ -1,0 +1,82 @@
+// Length-prefixed wire protocol for semilocal_serve.
+//
+// Framing: every message is a little-endian u32 payload length followed by
+// the payload; the length is capped so a corrupt or hostile peer cannot
+// trigger an unbounded allocation. Payloads are versionless by design --
+// the first byte is the operation / status code and unknown codes are
+// rejected, which is all the evolution a point-to-point tool needs.
+//
+// Request payload:   u8 op | i64 x | i64 y | u32 |a| | u32 |b| | a | b
+//   (x, y are the query window for the substring ops; sequences travel as
+//    one byte per symbol, the to_sequence convention -- fine for DNA/text)
+// Response payload:  u8 status | i64 value | i64 retry_ms | u32 len | text
+//
+// The same encode/decode pair runs on both ends (server, load generator,
+// tests), so framing bugs are structurally symmetric and caught by the
+// round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Malformed frame or payload (bad length, unknown code, short read).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Op : std::uint8_t {
+  kPing = 0,             ///< liveness check; value echoes 0
+  kLcs = 1,              ///< LCS(a, b)
+  kStringSubstring = 2,  ///< LCS(a, b[x, y))
+  kSubstringString = 3,  ///< LCS(a[x, y), b)
+  kStats = 4,            ///< engine stats as JSON text
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,       ///< text carries the message
+  kOverloaded = 2,  ///< backpressure; retry after retry_ms
+};
+
+struct Request {
+  Op op = Op::kPing;
+  Sequence a;
+  Sequence b;
+  Index x = 0;
+  Index y = 0;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  Index value = 0;
+  Index retry_ms = 0;
+  std::string text;
+};
+
+/// Frames larger than this are rejected on read and refused on write.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;  // 64 MiB
+
+/// Writes one frame (length prefix + payload). Throws ProtocolError if the
+/// payload exceeds kMaxFrameBytes, std::runtime_error on stream failure.
+void write_frame(std::ostream& out, std::string_view payload);
+
+/// Reads one frame's payload. Returns nullopt on clean EOF (no bytes of a
+/// next frame); throws ProtocolError on oversized lengths or truncation.
+std::optional<std::string> read_frame(std::istream& in);
+
+std::string encode_request(const Request& request);
+Request decode_request(std::string_view payload);
+
+std::string encode_response(const Response& response);
+Response decode_response(std::string_view payload);
+
+}  // namespace semilocal

@@ -1,0 +1,34 @@
+#include "engine/query.hpp"
+
+#include <stdexcept>
+
+namespace semilocal {
+
+Index kernel_h(const SemiLocalKernel& kernel, Index i, Index j) {
+  if (i < 0 || j < 0 || i > kernel.order() || j > kernel.order()) {
+    throw std::out_of_range("kernel_h: index outside [0, m+n]");
+  }
+  return j - i + kernel.m() - kernel.permutation().dominance_sum(i, j);
+}
+
+Index kernel_lcs(const SemiLocalKernel& kernel) {
+  return kernel_h(kernel, kernel.m(), kernel.n());
+}
+
+Index kernel_string_substring(const SemiLocalKernel& kernel, Index j0, Index j1) {
+  if (j0 < 0 || j1 < j0 || j1 > kernel.n()) {
+    throw std::out_of_range("kernel_string_substring: need 0 <= j0 <= j1 <= n");
+  }
+  return kernel_h(kernel, kernel.m() + j0, j1);
+}
+
+Index kernel_substring_string(const SemiLocalKernel& kernel, Index i0, Index i1) {
+  if (i0 < 0 || i1 < i0 || i1 > kernel.m()) {
+    throw std::out_of_range("kernel_substring_string: need 0 <= i0 <= i1 <= m");
+  }
+  const Index m = kernel.m();
+  const Index n = kernel.n();
+  return kernel_h(kernel, m - i0, n + (m - i1)) - i0 - (m - i1);
+}
+
+}  // namespace semilocal

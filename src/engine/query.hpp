@@ -1,0 +1,29 @@
+// Thread-safe queries over shared cached kernels.
+//
+// SemiLocalKernel's own query methods build a mergesort tree lazily behind a
+// mutable pointer -- correct for a single owner, a data race for an engine
+// handing one shared kernel to many connection threads. The serving path
+// therefore answers queries with the stateless O(m + n) dominance scan on
+// the (immutable) permutation: no hidden state, no synchronization, and for
+// one-shot queries the scan is cheaper than building the tree anyway.
+// Formulas mirror core/kernel.cpp (Definition 3.2 / 3.3 of the paper).
+#pragma once
+
+#include "core/kernel.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// Element H(i, j) of the semi-local LCS matrix; i, j in [0, m+n].
+Index kernel_h(const SemiLocalKernel& kernel, Index i, Index j);
+
+/// LCS(a, b): the global score, H(m, n).
+Index kernel_lcs(const SemiLocalKernel& kernel);
+
+/// string-substring: LCS(a, b[j0, j1)), 0 <= j0 <= j1 <= n.
+Index kernel_string_substring(const SemiLocalKernel& kernel, Index j0, Index j1);
+
+/// substring-string: LCS(a[i0, i1), b), 0 <= i0 <= i1 <= m.
+Index kernel_substring_string(const SemiLocalKernel& kernel, Index i0, Index i1);
+
+}  // namespace semilocal

@@ -1,0 +1,153 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+namespace semilocal {
+namespace {
+
+std::shared_future<KernelPtr> ready_future(KernelPtr kernel) {
+  std::promise<KernelPtr> promise;
+  promise.set_value(std::move(kernel));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+KernelScheduler::KernelScheduler(KernelStore& store, SchedulerOptions options,
+                                 LatencyRecorder* latency)
+    : store_(store), options_(options), latency_(latency) {
+  threads_.reserve(static_cast<std::size_t>(std::max(0, options_.workers)));
+  for (int i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+KernelScheduler::~KernelScheduler() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::shared_future<KernelPtr> KernelScheduler::submit(const PairKey& key, Sequence a,
+                                                      Sequence b) {
+  std::unique_lock lock(mutex_);
+  ++submitted_;
+  // Duplicate of an in-flight pair: attach to the existing computation.
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    ++coalesced_;
+    return it->second;
+  }
+  // A pair that completed between the caller's cache probe and this lock is
+  // gone from inflight_ but present in the store; re-probe so it is never
+  // recomputed. (Lock order scheduler -> store; the store never calls back.)
+  if (KernelPtr hit = store_.find(key)) return ready_future(std::move(hit));
+  if (queue_.size() >= options_.max_queue) {
+    ++rejected_;
+    // Hint scales with how many batches are queued ahead of the retrier.
+    const auto waves =
+        static_cast<Index>(queue_.size() / std::max<std::size_t>(1, options_.max_batch));
+    const Index retry_ms = 5 * (waves + 1) / std::max(1, options_.workers) + 1;
+    throw EngineOverloaded("engine overloaded: " + std::to_string(queue_.size()) +
+                               " jobs queued (limit " + std::to_string(options_.max_queue) +
+                               ")",
+                           retry_ms);
+  }
+  auto job = std::make_shared<Job>();
+  job->key = key;
+  job->a = std::move(a);
+  job->b = std::move(b);
+  auto future = job->promise.get_future().share();
+  inflight_.emplace(key, future);
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+void KernelScheduler::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    run_one_batch(lock);
+  }
+}
+
+bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  std::vector<JobPtr> batch;
+  batch.reserve(std::min(queue_.size(), options_.max_batch));
+  while (!queue_.empty() && batch.size() < options_.max_batch) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++batches_;
+  lock.unlock();
+
+  std::vector<SequencePair> pairs;
+  pairs.reserve(batch.size());
+  for (const JobPtr& job : batch) pairs.push_back({job->a, job->b});
+  SemiLocalOptions per_pair = options_.compute;
+  per_pair.parallel = false;  // this thread's tls_workspace serves the batch
+  std::vector<KernelPtr> results(batch.size());
+  std::exception_ptr failure;
+  try {
+    auto kernels = semi_local_kernel_batch(pairs, per_pair);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      results[i] = std::make_shared<const SemiLocalKernel>(std::move(kernels[i]));
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  // Publish to the store before fulfilling promises or clearing inflight_,
+  // so no submit() window exists in which a finished pair is found nowhere.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (results[i]) store_.put(batch[i]->key, results[i]);
+  }
+
+  // Settle the books before resolving the promises: a caller whose
+  // future.get() has returned must observe the computation in stats().
+  // (set_value under the lock is fine -- woken waiters merely block on
+  // mutex_ until this batch finishes bookkeeping.)
+  lock.lock();
+  computed_ += failure ? 0 : batch.size();
+  for (const JobPtr& job : batch) inflight_.erase(job->key);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (failure) {
+      batch[i]->promise.set_exception(failure);
+    } else {
+      if (latency_) latency_->record(batch[i]->queued.milliseconds());
+      batch[i]->promise.set_value(std::move(results[i]));
+    }
+  }
+  return true;
+}
+
+std::size_t KernelScheduler::drain() {
+  std::unique_lock lock(mutex_);
+  std::size_t batches = 0;
+  while (run_one_batch(lock)) ++batches;
+  return batches;
+}
+
+SchedulerStats KernelScheduler::stats() const {
+  std::lock_guard lock(mutex_);
+  return SchedulerStats{.submitted = submitted_,
+                        .coalesced = coalesced_,
+                        .computed = computed_,
+                        .batches = batches_,
+                        .rejected = rejected_,
+                        .queue_depth = queue_.size(),
+                        .inflight = inflight_.size()};
+}
+
+}  // namespace semilocal

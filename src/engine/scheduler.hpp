@@ -1,0 +1,127 @@
+// Batching request scheduler for kernel computations.
+//
+// The scheduler turns independent cache misses into efficient compute:
+//
+//   * Coalescing. An in-flight map keyed by PairKey gives every duplicate
+//     submission the same shared_future -- N concurrent requests for one
+//     pair cost one kernel computation.
+//   * Batching. Workers pop up to max_batch queued jobs at once and run
+//     them through semi_local_kernel_batch, so each worker reuses its
+//     persistent tls_workspace() across the batch and reaches the
+//     zero-allocation steady state PR 1 built.
+//   * Backpressure. The queue is bounded; a submit that would exceed it
+//     throws EngineOverloaded carrying a retry-after hint instead of letting
+//     latency grow without bound.
+//
+// workers = 0 runs no threads; call drain() to execute queued batches on the
+// calling thread (deterministic tests, single-threaded stdio serving).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/api.hpp"
+#include "engine/kernel_store.hpp"
+#include "engine/latency.hpp"
+#include "util/timer.hpp"
+
+namespace semilocal {
+
+/// Thrown by submit() when the pending queue is full. `retry_after_ms` is a
+/// load-based hint for when the client should try again.
+class EngineOverloaded : public std::runtime_error {
+ public:
+  EngineOverloaded(const std::string& what, Index retry_after_ms)
+      : std::runtime_error(what), retry_after_ms_(retry_after_ms) {}
+
+  [[nodiscard]] Index retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  Index retry_after_ms_;
+};
+
+struct SchedulerOptions {
+  /// Worker threads. 0 = none; use drain().
+  int workers = 2;
+  /// Pending-job bound; submissions beyond it are rejected.
+  std::size_t max_queue = 256;
+  /// Cache misses grouped into one semi_local_kernel_batch call.
+  std::size_t max_batch = 8;
+  /// Per-pair compute configuration (`parallel` is forced off: pairs are
+  /// the parallel unit, one batch per worker thread).
+  SemiLocalOptions compute;
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;  ///< jobs accepted (incl. coalesced + fast-path)
+  std::uint64_t coalesced = 0;  ///< duplicates attached to an in-flight job
+  std::uint64_t computed = 0;   ///< kernels actually computed
+  std::uint64_t batches = 0;    ///< semi_local_kernel_batch invocations
+  std::uint64_t rejected = 0;   ///< submissions refused by backpressure
+  std::size_t queue_depth = 0;  ///< jobs currently queued
+  std::size_t inflight = 0;     ///< distinct pairs queued or being computed
+};
+
+class KernelScheduler {
+ public:
+  /// `latency` (optional) receives one sample per computed job, measured
+  /// submit-to-completion. Store results are published via `store.put`.
+  KernelScheduler(KernelStore& store, SchedulerOptions options,
+                  LatencyRecorder* latency = nullptr);
+  ~KernelScheduler();
+  KernelScheduler(const KernelScheduler&) = delete;
+  KernelScheduler& operator=(const KernelScheduler&) = delete;
+
+  /// Schedules the kernel of (a, b). Returns immediately with a future that
+  /// resolves when a worker (or drain()) computes the pair -- or an
+  /// already-ready future if the pair is in the store or in flight.
+  /// Throws EngineOverloaded when the queue is full.
+  std::shared_future<KernelPtr> submit(const PairKey& key, Sequence a, Sequence b);
+
+  /// Runs queued batches on the calling thread until the queue is empty.
+  /// Returns the number of batches executed.
+  std::size_t drain();
+
+  [[nodiscard]] SchedulerStats stats() const;
+
+ private:
+  struct Job {
+    PairKey key;
+    Sequence a;
+    Sequence b;
+    std::promise<KernelPtr> promise;
+    Timer queued;  // started at submission; read at completion
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void worker_loop();
+  /// Pops and computes one batch. `lock` is held on entry and exit,
+  /// released during compute. Returns false if the queue was empty.
+  bool run_one_batch(std::unique_lock<std::mutex>& lock);
+
+  KernelStore& store_;
+  SchedulerOptions options_;
+  LatencyRecorder* latency_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<JobPtr> queue_;
+  std::unordered_map<PairKey, std::shared_future<KernelPtr>, PairKeyHash> inflight_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t computed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace semilocal

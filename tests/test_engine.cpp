@@ -1,0 +1,360 @@
+// Comparison-engine subsystem tests: LRU cache accounting and eviction
+// order, kernel store disk tier, scheduler coalescing + backpressure
+// (deterministic via workers = 0 + drain()), wire protocol round-trips, the
+// thread-safe query layer against the brute-force oracle, and the
+// acceptance end-to-end: a mixed repeated load must cost one computation per
+// distinct pair -- asserted via the engine stats counters, not timing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/api.hpp"
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "oracles.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under the gtest temp root.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::path(::testing::TempDir()) / ("semilocal_" + name)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ignored;
+    fs::remove_all(path_, ignored);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+KernelPtr make_kernel(Index la, Index lb, std::uint64_t seed) {
+  const auto a = testing::random_string(la, 4, seed * 2 + 1);
+  const auto b = testing::random_string(lb, 4, seed * 2 + 2);
+  return std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b));
+}
+
+PairKey key_for(std::uint64_t seed) {
+  const auto a = testing::random_string(16, 4, seed * 2 + 1);
+  const auto b = testing::random_string(16, 4, seed * 2 + 2);
+  return make_pair_key(a, b);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedFirst) {
+  const KernelPtr k0 = make_kernel(16, 16, 0);
+  const KernelPtr k1 = make_kernel(16, 16, 1);
+  const KernelPtr k2 = make_kernel(16, 16, 2);
+  const std::size_t each = kernel_resident_bytes(*k0);
+  // Budget fits exactly two equally-sized kernels.
+  LruKernelCache cache(2 * each);
+  cache.put(key_for(0), k0);
+  cache.put(key_for(1), k1);
+  // Touch k0 so k1 becomes the least recently used...
+  ASSERT_NE(cache.get(key_for(0)), nullptr);
+  // ...then inserting k2 must evict k1, not k0.
+  cache.put(key_for(2), k2);
+  EXPECT_NE(cache.get(key_for(0)), nullptr);
+  EXPECT_EQ(cache.get(key_for(1)), nullptr);
+  EXPECT_NE(cache.get(key_for(2)), nullptr);
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, stats.budget_bytes);
+}
+
+TEST(LruCache, CountsHitsAndMisses) {
+  LruKernelCache cache(std::size_t{1} << 20);
+  EXPECT_EQ(cache.get(key_for(0)), nullptr);
+  cache.put(key_for(0), make_kernel(8, 8, 0));
+  EXPECT_NE(cache.get(key_for(0)), nullptr);
+  EXPECT_EQ(cache.get(key_for(1)), nullptr);
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(LruCache, EntryLargerThanBudgetIsNotCached) {
+  const KernelPtr big = make_kernel(64, 64, 0);
+  LruKernelCache cache(kernel_resident_bytes(*big) - 1);
+  cache.put(key_for(0), big);
+  EXPECT_EQ(cache.get(key_for(0)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCache, EvictionNeverFreesUnderAReader) {
+  // A reader holding the KernelPtr keeps the kernel alive past eviction.
+  LruKernelCache cache(std::size_t{1} << 10);
+  KernelPtr held;
+  {
+    const KernelPtr k = make_kernel(16, 16, 0);
+    cache.put(key_for(0), k);
+    held = cache.get(key_for(0));
+    ASSERT_NE(held, nullptr);
+  }
+  for (std::uint64_t s = 1; s < 32; ++s) cache.put(key_for(s), make_kernel(16, 16, s));
+  EXPECT_EQ(cache.get(key_for(0)), nullptr);  // evicted from the cache...
+  EXPECT_EQ(held->m(), 16);                   // ...but still valid for the holder
+}
+
+TEST(KernelStore, DiskTierSurvivesProcessRestart) {
+  ScratchDir dir("store_roundtrip");
+  const auto a = testing::random_string(32, 4, 1);
+  const auto b = testing::random_string(40, 4, 2);
+  const PairKey key = make_pair_key(a, b);
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  {
+    KernelStore store(options);
+    store.put(key, std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b)));
+    EXPECT_EQ(store.stats().disk_writes, 1u);
+    EXPECT_TRUE(store.on_disk(key));
+  }
+  // A fresh store (cold cache) over the same directory must load it back.
+  KernelStore store(options);
+  const KernelPtr loaded = store.find(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->m(), 32);
+  EXPECT_EQ(loaded->n(), 40);
+  EXPECT_EQ(store.stats().disk_hits, 1u);
+  // The disk hit was promoted: the next find is a pure cache hit.
+  ASSERT_NE(store.find(key), nullptr);
+  EXPECT_EQ(store.stats().cache.hits, 1u);
+  EXPECT_EQ(store.stats().disk_hits, 1u);
+}
+
+TEST(KernelStore, CorruptFileIsAMissNotACrash) {
+  ScratchDir dir("store_corrupt");
+  const PairKey key = key_for(7);
+  {
+    std::ofstream out(fs::path(dir.str()) / (key.hex() + ".slk"), std::ios::binary);
+    out << "this is not a kernel";
+  }
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  KernelStore store(options);
+  EXPECT_EQ(store.find(key), nullptr);
+  EXPECT_EQ(store.stats().disk_errors, 1u);
+}
+
+EngineOptions drain_mode(int max_queue = 256, int max_batch = 8) {
+  EngineOptions options;
+  options.scheduler.workers = 0;  // deterministic: compute only in drain()
+  options.scheduler.max_queue = static_cast<std::size_t>(max_queue);
+  options.scheduler.max_batch = static_cast<std::size_t>(max_batch);
+  return options;
+}
+
+TEST(Scheduler, DuplicateSubmissionsCoalesceToOneComputation) {
+  ComparisonEngine engine(drain_mode());
+  const auto a = testing::random_string(64, 4, 1);
+  const auto b = testing::random_string(64, 4, 2);
+  auto first = engine.kernel_async(a, b);
+  auto second = engine.kernel_async(a, b);
+  EXPECT_GT(engine.drain(), 0u);
+  // Both callers got the same kernel from a single computation.
+  EXPECT_EQ(first.get(), second.get());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scheduler.coalesced, 1u);
+  EXPECT_EQ(stats.scheduler.computed, 1u);
+  EXPECT_EQ(stats.scheduler.inflight, 0u);
+}
+
+TEST(Scheduler, FullQueueRejectsWithRetryHint) {
+  ComparisonEngine engine(drain_mode(/*max_queue=*/2));
+  auto f0 = engine.kernel_async(testing::random_string(16, 4, 1),
+                                testing::random_string(16, 4, 2));
+  auto f1 = engine.kernel_async(testing::random_string(16, 4, 3),
+                                testing::random_string(16, 4, 4));
+  try {
+    (void)engine.kernel_async(testing::random_string(16, 4, 5),
+                              testing::random_string(16, 4, 6));
+    FAIL() << "third submission should have been rejected";
+  } catch (const EngineOverloaded& e) {
+    EXPECT_GT(e.retry_after_ms(), 0);
+  }
+  EXPECT_EQ(engine.stats().scheduler.rejected, 1u);
+  // Draining frees the queue; the rejected pair now goes through.
+  engine.drain();
+  auto f2 = engine.kernel_async(testing::random_string(16, 4, 5),
+                                testing::random_string(16, 4, 6));
+  engine.drain();
+  EXPECT_NE(f2.get(), nullptr);
+  EXPECT_EQ(engine.stats().scheduler.computed, 3u);
+}
+
+TEST(Scheduler, BatchesGroupQueuedMisses) {
+  ComparisonEngine engine(drain_mode(/*max_queue=*/256, /*max_batch=*/4));
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    (void)engine.kernel_async(testing::random_string(24, 4, 100 + s * 2),
+                              testing::random_string(24, 4, 101 + s * 2));
+  }
+  engine.drain();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scheduler.computed, 8u);
+  EXPECT_EQ(stats.scheduler.batches, 2u);  // 8 jobs / max_batch 4
+}
+
+TEST(QueryLayer, MatchesBruteForceOracle) {
+  const auto a = testing::random_string(18, 3, 11);
+  const auto b = testing::random_string(23, 3, 12);
+  const SemiLocalKernel kernel = semi_local_kernel(a, b);
+  EXPECT_EQ(kernel_lcs(kernel), testing::lcs_oracle(a, b));
+  const auto n = static_cast<Index>(b.size());
+  const auto m = static_cast<Index>(a.size());
+  for (Index j0 = 0; j0 <= n; ++j0) {
+    for (Index j1 = j0; j1 <= n; ++j1) {
+      const Sequence window(b.begin() + j0, b.begin() + j1);
+      ASSERT_EQ(kernel_string_substring(kernel, j0, j1), testing::lcs_oracle(a, window))
+          << "j0=" << j0 << " j1=" << j1;
+    }
+  }
+  for (Index i0 = 0; i0 <= m; ++i0) {
+    for (Index i1 = i0; i1 <= m; ++i1) {
+      const Sequence window(a.begin() + i0, a.begin() + i1);
+      ASSERT_EQ(kernel_substring_string(kernel, i0, i1), testing::lcs_oracle(window, b))
+          << "i0=" << i0 << " i1=" << i1;
+    }
+  }
+}
+
+TEST(QueryLayer, RejectsOutOfRangeWindows) {
+  const SemiLocalKernel kernel =
+      semi_local_kernel(testing::random_string(8, 3, 1), testing::random_string(9, 3, 2));
+  EXPECT_THROW((void)kernel_string_substring(kernel, -1, 3), std::out_of_range);
+  EXPECT_THROW((void)kernel_string_substring(kernel, 4, 2), std::out_of_range);
+  EXPECT_THROW((void)kernel_string_substring(kernel, 0, 10), std::out_of_range);
+  EXPECT_THROW((void)kernel_substring_string(kernel, 0, 9), std::out_of_range);
+}
+
+TEST(Protocol, RequestRoundTrips) {
+  Request request;
+  request.op = Op::kStringSubstring;
+  request.x = 3;
+  request.y = 41;
+  request.a = testing::random_string(50, 4, 1);
+  request.b = testing::random_string(70, 4, 2);
+  const Request decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.op, request.op);
+  EXPECT_EQ(decoded.x, request.x);
+  EXPECT_EQ(decoded.y, request.y);
+  EXPECT_EQ(decoded.a, request.a);
+  EXPECT_EQ(decoded.b, request.b);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response response;
+  response.status = Status::kOverloaded;
+  response.value = -7;
+  response.retry_ms = 12;
+  response.text = "queue full";
+  const Response decoded = decode_response(encode_response(response));
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.value, response.value);
+  EXPECT_EQ(decoded.retry_ms, response.retry_ms);
+  EXPECT_EQ(decoded.text, response.text);
+}
+
+TEST(Protocol, MalformedPayloadsThrow) {
+  Request request;
+  request.op = Op::kLcs;
+  request.a = testing::random_string(10, 4, 1);
+  request.b = testing::random_string(10, 4, 2);
+  const std::string valid = encode_request(request);
+  // Unknown op byte.
+  std::string bad_op = valid;
+  bad_op[0] = 99;
+  EXPECT_THROW((void)decode_request(bad_op), ProtocolError);
+  // Truncation at every prefix length.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    EXPECT_THROW((void)decode_request(valid.substr(0, cut)), ProtocolError) << cut;
+  }
+  // Trailing garbage.
+  EXPECT_THROW((void)decode_request(valid + "x"), ProtocolError);
+  EXPECT_THROW((void)decode_response(std::string_view{}), ProtocolError);
+}
+
+TEST(Protocol, FramingRoundTripsAndRejectsTruncation) {
+  std::stringstream wire;
+  write_frame(wire, "hello");
+  write_frame(wire, "");
+  const auto first = read_frame(wire);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "hello");
+  const auto second = read_frame(wire);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "");
+  EXPECT_FALSE(read_frame(wire).has_value());  // clean EOF
+
+  std::stringstream truncated(std::string("\x05\x00\x00\x00he", 6));
+  EXPECT_THROW((void)read_frame(truncated), ProtocolError);
+  std::stringstream half_header(std::string("\x05\x00", 2));
+  EXPECT_THROW((void)read_frame(half_header), ProtocolError);
+  std::stringstream oversized(std::string("\xff\xff\xff\xff", 4));
+  EXPECT_THROW((void)read_frame(oversized), ProtocolError);
+}
+
+/// Acceptance: a mixed load with repeats costs one computation per distinct
+/// pair, with the repeats answered from the cache -- per the stats counters.
+TEST(EngineEndToEnd, RepeatedPairsAreNeverRecomputed) {
+  ScratchDir dir("engine_e2e");
+  constexpr std::uint64_t kDistinctPairs = 4;
+  constexpr int kRounds = 5;
+  std::vector<std::pair<Sequence, Sequence>> pool;
+  for (std::uint64_t p = 0; p < kDistinctPairs; ++p) {
+    pool.emplace_back(testing::random_string(96, 4, 500 + p * 2),
+                      testing::random_string(96, 4, 501 + p * 2));
+  }
+
+  EngineOptions options;
+  options.store.dir = dir.str();
+  options.scheduler.workers = 1;
+  ComparisonEngine engine(options);
+  std::vector<Index> first_scores;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::uint64_t p = 0; p < kDistinctPairs; ++p) {
+      const Index score = engine.lcs(pool[p].first, pool[p].second);
+      if (round == 0) {
+        first_scores.push_back(score);
+      } else {
+        ASSERT_EQ(score, first_scores[p]) << "round " << round << " pair " << p;
+      }
+    }
+  }
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, kDistinctPairs * kRounds);
+  // One computation per distinct pair -- repeats never recompute.
+  EXPECT_EQ(stats.scheduler.computed, kDistinctPairs);
+  // Every repeat round was served from the in-memory cache.
+  EXPECT_EQ(stats.store.cache.hits, kDistinctPairs * (kRounds - 1));
+  EXPECT_GT(stats.cache_hit_rate(), 0.0);
+  EXPECT_EQ(stats.store.disk_writes, kDistinctPairs);
+  // Both the compute path and the cache fast path record a latency sample.
+  EXPECT_EQ(stats.latency.count, stats.requests);
+
+  // Warm restart over the same store directory: zero recompute, all disk.
+  ComparisonEngine warm(options);
+  for (std::uint64_t p = 0; p < kDistinctPairs; ++p) {
+    EXPECT_EQ(warm.lcs(pool[p].first, pool[p].second), first_scores[p]);
+  }
+  const EngineStats warm_stats = warm.stats();
+  EXPECT_EQ(warm_stats.scheduler.computed, 0u);
+  EXPECT_EQ(warm_stats.store.disk_hits, kDistinctPairs);
+}
+
+}  // namespace
+}  // namespace semilocal

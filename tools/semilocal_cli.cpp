@@ -8,6 +8,13 @@
 //   query <kernel.bin> <kind> <x> <y>
 //       Answers one semi-local query from a saved kernel. kind is one of
 //       string-substring | substring-string | prefix-suffix | suffix-prefix | h.
+//   query <store-dir> <kind> <x> <y> --ids idA,idB
+//       Same, from a precomputed kernel store: the pair's kernel is looked
+//       up in the store index and loaded -- no recomputation.
+//   precompute <corpus.fasta> --store DIR [--algorithm NAME] [--parallel]
+//       Builds a kernel store: computes and persists the kernels of every
+//       record pair of the corpus, plus an index.tsv mapping id pairs to
+//       store keys. Re-running resumes (existing kernels are skipped).
 //   generate [--length N] [--gc FRAC] [--pair] [--seed S] [--out PATH]
 //       Emits synthetic genome FASTA (one record, or a related pair).
 //   dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]
@@ -15,6 +22,7 @@
 //   braid <stringA> <stringB>
 //       Renders the combing grid, the kernel matrix and the strand wiring
 //       (small inputs; teaching/debugging aid).
+#include <filesystem>
 #include <iostream>
 #include <fstream>
 
@@ -23,6 +31,7 @@
 #include "core/api.hpp"
 #include "core/braid_render.hpp"
 #include "core/serialize.hpp"
+#include "engine/corpus.hpp"
 #include "util/cli.hpp"
 #include "util/fasta.hpp"
 #include "util/timer.hpp"
@@ -38,6 +47,9 @@ int usage() {
       "          [--parallel] [--profile WIDTH] [--save-kernel PATH]\n"
       "  query <kernel.bin> <kind> <x> <y>   (kind: string-substring, substring-string,\n"
       "                                       prefix-suffix, suffix-prefix, h)\n"
+      "  query <store-dir> <kind> <x> <y> --ids idA,idB\n"
+      "  precompute <corpus.fasta> --store DIR [--algorithm NAME] [--parallel]\n"
+      "             [--cache-mb N]\n"
       "  generate [--length N] [--gc F] [--pair] [--seed S] [--out PATH]\n"
       "  dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]\n"
       "  braid <stringA> <stringB>\n";
@@ -97,9 +109,34 @@ int cmd_compare(const CliArgs& args) {
   return 0;
 }
 
+// Resolves a query target: a single kernel file, or a store directory plus
+// --ids idA,idB looked up through the store's index.tsv.
+SemiLocalKernel load_query_kernel(const CliArgs& args) {
+  const std::string& target = args.positional()[0];
+  if (!std::filesystem::is_directory(target)) return load_kernel_file(target);
+  const auto ids = args.option("ids");
+  if (!ids) throw std::invalid_argument("store queries need --ids idA,idB");
+  const auto comma = ids->find(',');
+  if (comma == std::string::npos) {
+    throw std::invalid_argument("--ids expects two record ids separated by a comma");
+  }
+  const std::string id_a = ids->substr(0, comma);
+  const std::string id_b = ids->substr(comma + 1);
+  const auto index =
+      read_corpus_index((std::filesystem::path(target) / "index.tsv").string());
+  for (const CorpusIndexEntry& entry : index) {
+    if (entry.id_a == id_a && entry.id_b == id_b) {
+      return load_kernel_file(
+          (std::filesystem::path(target) / (entry.key_hex + ".slk")).string());
+    }
+  }
+  throw std::runtime_error("pair (" + id_a + ", " + id_b +
+                           ") not in store index (note: ids are order-sensitive)");
+}
+
 int cmd_query(const CliArgs& args) {
   if (args.positional().size() != 4) return usage();
-  const auto kernel = load_kernel_file(args.positional()[0]);
+  const auto kernel = load_query_kernel(args);
   const std::string kind = args.positional()[1];
   const Index x = std::stoll(args.positional()[2]);
   const Index y = std::stoll(args.positional()[3]);
@@ -111,6 +148,33 @@ int cmd_query(const CliArgs& args) {
   else if (kind == "h") answer = kernel.h(x, y);
   else return usage();
   std::cout << answer << "\n";
+  return 0;
+}
+
+int cmd_precompute(const CliArgs& args) {
+  if (args.positional().size() != 1) return usage();
+  const auto store_dir = args.option("store");
+  if (!store_dir) throw std::invalid_argument("precompute needs --store DIR");
+  const auto records = read_fasta_file(args.positional()[0]);
+  if (records.size() < 2) {
+    throw std::runtime_error("precompute needs a corpus of at least two records");
+  }
+  KernelStore store(
+      {.dir = *store_dir,
+       .cache_bytes = static_cast<std::size_t>(args.int_option_or("cache-mb", 64)) << 20,
+       .persist = true});
+  SemiLocalOptions opts;
+  opts.strategy = parse_strategy(args.option_or("algorithm", "antidiag"));
+  Timer t;
+  const CorpusBuildReport report =
+      precompute_corpus(records, store, opts, args.has_flag("parallel"));
+  const std::string index_path =
+      (std::filesystem::path(*store_dir) / "index.tsv").string();
+  write_corpus_index(index_path, report.entries);
+  std::cout << records.size() << " records, " << report.entries.size() << " pairs: "
+            << report.computed << " kernels computed, " << report.reused
+            << " reused from store, in " << t.seconds() << " s\n";
+  std::cout << "index written to " << index_path << "\n";
   return 0;
 }
 
@@ -181,6 +245,7 @@ int main(int argc, char** argv) {
     const CliArgs args = CliArgs::parse(argc, argv, 2, {"parallel", "pair"});
     if (command == "compare") return cmd_compare(args);
     if (command == "query") return cmd_query(args);
+    if (command == "precompute") return cmd_precompute(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "dotplot") return cmd_dotplot(args);
     if (command == "braid") return cmd_braid(args);

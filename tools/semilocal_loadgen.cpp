@@ -1,0 +1,208 @@
+// semilocal_loadgen -- load generator / client for semilocal_serve.
+//
+// Drives a mixed query load over TCP: a pool of distinct sequence pairs is
+// sampled per request (pool smaller than the request count => repeats, the
+// cache-friendly regime; --zipf skews sampling toward a hot head). Overloaded
+// responses are retried after the server's hint, so the tool also exercises
+// the backpressure path. Prints client-side throughput and latency
+// percentiles, then the server's own stats endpoint for comparison.
+//
+//   semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]
+//                     [--threads T] [--substring-frac F] [--zipf] [--seed S]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "fd_stream.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+using namespace semilocal;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]\n"
+               "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n";
+  return 2;
+}
+
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("connect: ") + std::strerror(errno));
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
+
+Sequence random_dna(Index length, Rng& rng) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  Sequence out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (Index i = 0; i < length; ++i) {
+    out.push_back(static_cast<Symbol>(kBases[rng.uniform(0, 3)]));
+  }
+  return out;
+}
+
+struct Workload {
+  std::vector<std::pair<Sequence, Sequence>> pool;
+  double substring_frac = 0.0;
+  bool zipf = false;
+};
+
+Request pick_request(const Workload& workload, Rng& rng) {
+  const auto pool_size = static_cast<std::int64_t>(workload.pool.size());
+  std::int64_t idx = rng.uniform(0, pool_size - 1);
+  if (workload.zipf) {
+    // Cheap skew: min of two uniforms lands on the head ~2x as often.
+    idx = std::min(idx, rng.uniform(0, pool_size - 1));
+  }
+  const auto& [a, b] = workload.pool[static_cast<std::size_t>(idx)];
+  Request request;
+  request.a = a;
+  request.b = b;
+  if (rng.uniform01() < workload.substring_frac) {
+    request.op = Op::kStringSubstring;
+    const auto n = static_cast<Index>(b.size());
+    const Index j0 = rng.uniform(0, n / 2);
+    request.x = j0;
+    request.y = rng.uniform(j0, n);
+  } else {
+    request.op = Op::kLcs;
+  }
+  return request;
+}
+
+struct ClientTotals {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t retries = 0;
+};
+
+ClientTotals run_client(int port, const Workload& workload, int requests,
+                        std::uint64_t seed) {
+  ClientTotals totals;
+  Rng rng(seed);
+  tools::FdStream stream(connect_to(port));
+  for (int i = 0; i < requests; ++i) {
+    const Request request = pick_request(workload, rng);
+    const std::string encoded = encode_request(request);
+    Timer t;
+    while (true) {
+      write_frame(stream.out, encoded);
+      const auto payload = read_frame(stream.in);
+      if (!payload) throw std::runtime_error("server closed connection");
+      const Response response = decode_response(*payload);
+      if (response.status == Status::kOverloaded) {
+        ++totals.retries;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::max<Index>(1, response.retry_ms)));
+        continue;
+      }
+      if (response.status == Status::kOk) {
+        ++totals.ok;
+      } else {
+        ++totals.errors;
+        std::cerr << "loadgen: server error: " << response.text << "\n";
+      }
+      break;
+    }
+    totals.latencies_ms.push_back(t.milliseconds());
+  }
+  return totals;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = CliArgs::parse(argc, argv, 1, {"zipf"});
+    const auto port_opt = args.option("port");
+    if (!port_opt) return usage();
+    const int port = static_cast<int>(std::stol(*port_opt));
+    const int requests = static_cast<int>(args.int_option_or("requests", 200));
+    const auto pairs = args.int_option_or("pairs", 16);
+    const Index length = args.int_option_or("length", 2000);
+    const int threads = static_cast<int>(args.int_option_or("threads", 4));
+    const auto seed = static_cast<std::uint64_t>(args.int_option_or("seed", 1));
+
+    Workload workload;
+    workload.substring_frac = args.double_option_or("substring-frac", 0.25);
+    workload.zipf = args.has_flag("zipf");
+    Rng rng(seed);
+    for (Index p = 0; p < pairs; ++p) {
+      workload.pool.emplace_back(random_dna(length, rng), random_dna(length, rng));
+    }
+
+    const int per_thread = std::max(1, requests / std::max(1, threads));
+    std::vector<std::thread> team;
+    std::vector<ClientTotals> results(static_cast<std::size_t>(threads));
+    Timer wall;
+    for (int t = 0; t < threads; ++t) {
+      team.emplace_back([&, t] {
+        results[static_cast<std::size_t>(t)] =
+            run_client(port, workload, per_thread, seed + 100 + static_cast<std::uint64_t>(t));
+      });
+    }
+    for (std::thread& t : team) t.join();
+    const double elapsed = wall.seconds();
+
+    ClientTotals merged;
+    for (ClientTotals& r : results) {
+      merged.ok += r.ok;
+      merged.errors += r.errors;
+      merged.retries += r.retries;
+      merged.latencies_ms.insert(merged.latencies_ms.end(), r.latencies_ms.begin(),
+                                 r.latencies_ms.end());
+    }
+    std::sort(merged.latencies_ms.begin(), merged.latencies_ms.end());
+    const auto total = merged.ok + merged.errors;
+    std::cout << "requests: " << total << " ok: " << merged.ok
+              << " errors: " << merged.errors << " retries: " << merged.retries << "\n";
+    std::cout << "elapsed: " << elapsed << " s  throughput: "
+              << static_cast<double>(total) / elapsed << " req/s\n";
+    std::cout << "latency ms  p50: " << percentile(merged.latencies_ms, 0.50)
+              << "  p90: " << percentile(merged.latencies_ms, 0.90)
+              << "  p99: " << percentile(merged.latencies_ms, 0.99) << "  max: "
+              << (merged.latencies_ms.empty() ? 0.0 : merged.latencies_ms.back())
+              << "\n";
+
+    // Server-side view of the same run.
+    tools::FdStream stats(connect_to(port));
+    Request stats_request;
+    stats_request.op = Op::kStats;
+    write_frame(stats.out, encode_request(stats_request));
+    if (const auto payload = read_frame(stats.in)) {
+      std::cout << "server stats: " << decode_response(*payload).text << "\n";
+    }
+    return merged.errors == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "semilocal_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

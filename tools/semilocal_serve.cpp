@@ -1,0 +1,244 @@
+// semilocal_serve -- the comparison engine behind a socket or stdio pipe.
+//
+// Speaks the length-prefixed protocol of engine/protocol.hpp. Each request
+// is answered off the engine's kernel cache when possible; misses go through
+// the batching scheduler; backpressure surfaces as an Overloaded response
+// with a retry hint instead of unbounded queueing.
+//
+//   semilocal_serve --stdio [engine options]
+//       One session over stdin/stdout. Single-threaded end to end (the
+//       scheduler still batches; compute runs inline via drain()).
+//   semilocal_serve --port P [engine options]
+//       TCP server on 127.0.0.1:P (P = 0 picks a free port, printed on
+//       stderr). One thread per connection, shared engine.
+//
+// Engine options:
+//   --store DIR      kernel store directory (default: in-memory only)
+//   --cache-mb N     LRU cache budget (default 64)
+//   --workers N      scheduler threads (default: hardware)
+//   --queue N        pending-job bound (default 256)
+//   --batch N        misses grouped per compute batch (default 8)
+//   --algorithm X    combing strategy (see semilocal_cli)
+//   --no-persist     do not write computed kernels to the store
+//   --dna            pack request bytes as DNA (match CLI precompute keys)
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "core/api.hpp"
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "fd_stream.hpp"
+#include "util/cli.hpp"
+#include "util/fasta.hpp"
+#include "util/parallel.hpp"
+
+using namespace semilocal;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: semilocal_serve (--stdio | --port P) [--store DIR] [--cache-mb N]\n"
+               "                       [--workers N] [--queue N] [--batch N]\n"
+               "                       [--algorithm NAME] [--no-persist] [--dna]\n";
+  return 2;
+}
+
+Strategy parse_strategy(const std::string& name) {
+  if (name == "antidiag") return Strategy::kAntidiagSimd;
+  if (name == "hybrid") return Strategy::kHybrid;
+  if (name == "tiled") return Strategy::kHybridTiled;
+  if (name == "recursive") return Strategy::kRecursive;
+  if (name == "rowmajor") return Strategy::kRowMajor;
+  if (name == "loadbalanced") return Strategy::kLoadBalanced;
+  throw std::invalid_argument("unknown --algorithm '" + name + "'");
+}
+
+std::string stats_json(const EngineStats& s) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, auto value, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+    if (!last) out += ", ";
+  };
+  field("requests", s.requests);
+  field("cache_hits", s.store.cache.hits);
+  field("cache_misses", s.store.cache.misses);
+  field("cache_evictions", s.store.cache.evictions);
+  field("cache_entries", s.store.cache.entries);
+  field("cache_bytes", s.store.cache.bytes);
+  field("disk_hits", s.store.disk_hits);
+  field("disk_writes", s.store.disk_writes);
+  field("computed", s.scheduler.computed);
+  field("coalesced", s.scheduler.coalesced);
+  field("rejected", s.scheduler.rejected);
+  field("batches", s.scheduler.batches);
+  field("queue_depth", s.scheduler.queue_depth);
+  field("cache_hit_rate", s.cache_hit_rate());
+  field("latency_count", s.latency.count);
+  field("p50_ms", s.latency.p50_ms);
+  field("p90_ms", s.latency.p90_ms);
+  field("p99_ms", s.latency.p99_ms, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+struct ServeConfig {
+  bool dna = false;
+  bool inline_compute = false;  // stdio mode: drain on the session thread
+};
+
+Sequence ingest(const ServeConfig& config, Sequence raw) {
+  return config.dna ? pack_dna(raw) : std::move(raw);
+}
+
+Response handle(ComparisonEngine& engine, const ServeConfig& config,
+                const Request& request) {
+  Response response;
+  try {
+    switch (request.op) {
+      case Op::kPing:
+        break;
+      case Op::kLcs:
+      case Op::kStringSubstring:
+      case Op::kSubstringString: {
+        const Sequence a = ingest(config, request.a);
+        const Sequence b = ingest(config, request.b);
+        auto future = engine.kernel_async(a, b);
+        if (config.inline_compute) engine.drain();
+        const KernelPtr kernel = future.get();
+        if (request.op == Op::kLcs) {
+          response.value = kernel_lcs(*kernel);
+        } else if (request.op == Op::kStringSubstring) {
+          response.value = kernel_string_substring(*kernel, request.x, request.y);
+        } else {
+          response.value = kernel_substring_string(*kernel, request.x, request.y);
+        }
+        break;
+      }
+      case Op::kStats:
+        response.text = stats_json(engine.stats());
+        break;
+    }
+  } catch (const EngineOverloaded& e) {
+    response.status = Status::kOverloaded;
+    response.retry_ms = e.retry_after_ms();
+    response.text = e.what();
+  } catch (const std::exception& e) {
+    response.status = Status::kError;
+    response.text = e.what();
+  }
+  return response;
+}
+
+/// One session: frames in, frames out, until EOF or a framing error.
+void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::istream& in,
+                   std::ostream& out) {
+  while (true) {
+    std::optional<std::string> payload;
+    try {
+      payload = read_frame(in);
+    } catch (const ProtocolError& e) {
+      // The stream is unframed from here on; report and hang up.
+      try {
+        write_frame(out, encode_response(
+                             {.status = Status::kError, .text = e.what()}));
+      } catch (...) {
+      }
+      return;
+    }
+    if (!payload) return;  // clean EOF
+    Response response;
+    try {
+      response = handle(engine, config, decode_request(*payload));
+    } catch (const ProtocolError& e) {
+      response = {.status = Status::kError, .text = e.what()};
+    }
+    write_frame(out, encode_response(response));
+  }
+}
+
+int serve_tcp(ComparisonEngine& engine, const ServeConfig& config, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "semilocal_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    std::cerr << "semilocal_serve: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::cerr << "semilocal_serve: listening on 127.0.0.1:" << ntohs(addr.sin_port)
+            << std::endl;
+  while (true) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "semilocal_serve: accept: " << std::strerror(errno) << "\n";
+      break;
+    }
+    const int nodelay = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    std::thread([&engine, config, conn] {
+      tools::FdStream stream(conn);  // closes conn on scope exit
+      serve_session(engine, config, stream.in, stream.out);
+    }).detach();
+  }
+  ::close(listener);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args =
+        CliArgs::parse(argc, argv, 1, {"stdio", "no-persist", "dna"});
+    const bool stdio = args.has_flag("stdio");
+    const auto port = args.option("port");
+    if (stdio == port.has_value()) return usage();  // exactly one mode
+
+    EngineOptions options;
+    options.store.dir = args.option_or("store", "");
+    options.store.cache_bytes =
+        static_cast<std::size_t>(args.int_option_or("cache-mb", 64)) << 20;
+    options.store.persist = !args.has_flag("no-persist");
+    options.scheduler.workers =
+        static_cast<int>(args.int_option_or("workers", stdio ? 0 : hardware_threads()));
+    options.scheduler.max_queue =
+        static_cast<std::size_t>(args.int_option_or("queue", 256));
+    options.scheduler.max_batch = static_cast<std::size_t>(args.int_option_or("batch", 8));
+    options.scheduler.compute.strategy =
+        parse_strategy(args.option_or("algorithm", "antidiag"));
+
+    ServeConfig config;
+    config.dna = args.has_flag("dna");
+    config.inline_compute = options.scheduler.workers == 0;
+
+    ComparisonEngine engine(options);
+    if (stdio) {
+      serve_session(engine, config, std::cin, std::cout);
+      return 0;
+    }
+    return serve_tcp(engine, config, static_cast<int>(std::stol(*port)));
+  } catch (const std::exception& e) {
+    std::cerr << "semilocal_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
