@@ -90,7 +90,7 @@ void ablation_bit_variants() {
 void ablation_query_structures() {
   const Index n = scaled(1 << 17);
   const auto p = Permutation::random(n, 9);
-  Table table({"structure", "build_s", "queries_per_s"});
+  Table table({"structure", "build_s", "queries_per_s", "resident_bytes"});
   const Index query_rounds = 200000;
   Rng rng(4);
   std::vector<std::pair<Index, Index>> queries;
@@ -111,13 +111,32 @@ void ablation_query_structures() {
     Timer t;
     const MergesortTree ms(p);
     const double build = t.seconds();
-    table.row().cell("mergesort_tree").cell(build, 4).cell(bench_queries(ms), 0);
+    table.row()
+        .cell("mergesort_tree")
+        .cell(build, 4)
+        .cell(bench_queries(ms), 0)
+        .cell(static_cast<long long>(ms.stored_elements() * sizeof(std::int32_t)));
   }
   {
     Timer t;
     const WaveletTree wt(p);
     const double build = t.seconds();
-    table.row().cell("wavelet_tree").cell(build, 4).cell(bench_queries(wt), 0);
+    table.row()
+        .cell("wavelet_tree")
+        .cell(build, 4)
+        .cell(bench_queries(wt), 0)
+        .cell(static_cast<long long>(wt.resident_bytes()));
+  }
+  {
+    // The flattened single-allocation variant the engine's QueryIndex uses.
+    Timer t;
+    const FlatWaveletTree flat(p);
+    const double build = t.seconds();
+    table.row()
+        .cell("flat_wavelet_tree")
+        .cell(build, 4)
+        .cell(bench_queries(flat), 0)
+        .cell(static_cast<long long>(flat.resident_bytes()));
   }
   {
     // The dense table is quadratic; benchmark it at a reduced size and
@@ -137,7 +156,10 @@ void ablation_query_structures() {
     table.row()
         .cell("dense_table(n=" + std::to_string(dense_n) + ")")
         .cell(build, 4)
-        .cell(static_cast<double>(query_rounds) / tq.seconds(), 0);
+        .cell(static_cast<double>(query_rounds) / tq.seconds(), 0)
+        .cell(static_cast<long long>(static_cast<std::size_t>(dense_n + 1) *
+                                     static_cast<std::size_t>(dense_n + 1) *
+                                     sizeof(Index)));
   }
   emit(table, "ablation_query_structures",
        "A4: dominance-count query structures (kernel order " + std::to_string(n) + ")");

@@ -1,0 +1,201 @@
+// Scan-vs-index crossover for semi-local queries off one cached kernel.
+//
+// The O(m + n) dominance scan answers a one-shot query with zero setup; the
+// flattened QueryIndex costs one build and then answers in O(log n). This
+// benchmark measures both across pair lengths and reports the crossover:
+// the number of queries per kernel after which building the index is the
+// cheaper total. Written to results/bench_query.json (plus the usual CSV)
+// so serving configurations can pick a policy from data.
+//
+// SEMILOCAL_BENCH_SCALE scales the query count, not the lengths -- the
+// length sweep IS the experiment.
+#include "common.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/api.hpp"
+#include "core/query_index.hpp"
+#include "engine/query.hpp"
+#include "util/random.hpp"
+
+using namespace semilocal;
+using namespace semilocal::bench;
+
+namespace {
+
+struct LengthResult {
+  Index length = 0;
+  Index order = 0;
+  double build_s = 0.0;
+  double scan_queries_per_s = 0.0;
+  double index_queries_per_s = 0.0;
+  double batch_queries_per_s = 0.0;  // interleaved answer_many descent
+  std::size_t index_bytes = 0;
+
+  /// Queries after which build + indexed answering beats pure scanning:
+  /// build_s + q / index_qps < q / scan_qps  =>  q > build_s / (1/scan - 1/index).
+  [[nodiscard]] double crossover_queries() const {
+    const double per_scan = 1.0 / scan_queries_per_s;
+    const double per_index = 1.0 / index_queries_per_s;
+    if (per_scan <= per_index) return -1.0;  // scan never loses (tiny kernels)
+    return build_s / (per_scan - per_index);
+  }
+};
+
+LengthResult run_length(Index length, Index queries) {
+  LengthResult result;
+  result.length = length;
+
+  Rng rng(static_cast<std::uint64_t>(length));
+  const auto a = uniform_sequence(length, 4, 11 + static_cast<std::uint64_t>(length));
+  const auto b = uniform_sequence(length, 4, 12 + static_cast<std::uint64_t>(length));
+  const SemiLocalKernel kernel = semi_local_kernel(a, b);
+  result.order = kernel.order();
+
+  // Mixed window workload, fixed up front so both paths answer identically.
+  const auto m = static_cast<Index>(a.size());
+  const auto n = static_cast<Index>(b.size());
+  struct Win {
+    QueryKind kind;
+    Index x, y;
+  };
+  std::vector<Win> windows;
+  windows.reserve(static_cast<std::size_t>(queries));
+  for (Index q = 0; q < queries; ++q) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        windows.push_back({QueryKind::kLcs, 0, 0});
+        break;
+      case 1: {
+        const Index j0 = rng.uniform(0, n);
+        windows.push_back({QueryKind::kStringSubstring, j0, rng.uniform(j0, n)});
+        break;
+      }
+      default: {
+        const Index i0 = rng.uniform(0, m);
+        windows.push_back({QueryKind::kSubstringString, i0, rng.uniform(i0, m)});
+        break;
+      }
+    }
+  }
+
+  const auto scan_all = [&] {
+    Index sink = 0;
+    for (const Win& w : windows) {
+      switch (w.kind) {
+        case QueryKind::kLcs:
+          sink += kernel_lcs(kernel);
+          break;
+        case QueryKind::kStringSubstring:
+          sink += kernel_string_substring(kernel, w.x, w.y);
+          break;
+        case QueryKind::kSubstringString:
+          sink += kernel_substring_string(kernel, w.x, w.y);
+          break;
+      }
+    }
+    if (sink < 0) std::abort();
+  };
+  result.scan_queries_per_s =
+      static_cast<double>(queries) / median_seconds(scan_all);
+
+  result.build_s = median_seconds([&] { (void)QueryIndex(kernel); });
+  const QueryIndex index(kernel);
+  result.index_bytes = index.resident_bytes();
+  const auto index_all = [&] {
+    Index sink = 0;
+    for (const Win& w : windows) {
+      switch (w.kind) {
+        case QueryKind::kLcs:
+          sink += index.lcs();
+          break;
+        case QueryKind::kStringSubstring:
+          sink += index.string_substring(w.x, w.y);
+          break;
+        case QueryKind::kSubstringString:
+          sink += index.substring_string(w.x, w.y);
+          break;
+      }
+    }
+    if (sink < 0) std::abort();
+  };
+  result.index_queries_per_s =
+      static_cast<double>(queries) / median_seconds(index_all);
+
+  // The batched-protocol path: lower every window up front, then run the
+  // interleaved multi-lane descent (QueryIndex::answer_many).
+  std::vector<HQuery> lowered;
+  lowered.reserve(windows.size());
+  for (const Win& w : windows) {
+    switch (w.kind) {
+      case QueryKind::kLcs:
+        lowered.push_back(lcs_query(m, n));
+        break;
+      case QueryKind::kStringSubstring:
+        lowered.push_back(string_substring_query(m, n, w.x, w.y));
+        break;
+      case QueryKind::kSubstringString:
+        lowered.push_back(substring_string_query(m, n, w.x, w.y));
+        break;
+    }
+  }
+  std::vector<Index> answers(lowered.size());
+  const auto batch_all = [&] {
+    index.answer_many(lowered.data(), answers.data(), lowered.size());
+    if (answers[0] < 0) std::abort();
+  };
+  result.batch_queries_per_s =
+      static_cast<double>(queries) / median_seconds(batch_all);
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<LengthResult>& results) {
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  std::ofstream out(path);
+  out << "{\n  \"lengths\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LengthResult& r = results[i];
+    out << "    {\"pair_length\": " << r.length << ", \"order\": " << r.order
+        << ", \"build_s\": " << r.build_s
+        << ", \"scan_queries_per_s\": " << r.scan_queries_per_s
+        << ", \"index_queries_per_s\": " << r.index_queries_per_s
+        << ", \"batch_queries_per_s\": " << r.batch_queries_per_s
+        << ", \"speedup\": " << r.index_queries_per_s / r.scan_queries_per_s
+        << ", \"batch_speedup\": " << r.batch_queries_per_s / r.scan_queries_per_s
+        << ", \"crossover_queries\": " << r.crossover_queries()
+        << ", \"index_bytes\": " << r.index_bytes << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "query report written to " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const Index queries = scaled(20000);
+  std::vector<LengthResult> results;
+  for (const Index length : {250, 500, 1000, 2000, 4000, 8000}) {
+    results.push_back(run_length(length, queries));
+  }
+
+  Table table({"pair_length", "build_s", "scan_q_per_s", "index_q_per_s",
+               "batch_q_per_s", "speedup", "batch_speedup", "crossover_queries",
+               "index_bytes"});
+  for (const LengthResult& r : results) {
+    table.row()
+        .cell(static_cast<long long>(r.length))
+        .cell(r.build_s, 6)
+        .cell(r.scan_queries_per_s, 0)
+        .cell(r.index_queries_per_s, 0)
+        .cell(r.batch_queries_per_s, 0)
+        .cell(r.index_queries_per_s / r.scan_queries_per_s, 2)
+        .cell(r.batch_queries_per_s / r.scan_queries_per_s, 2)
+        .cell(r.crossover_queries(), 1)
+        .cell(static_cast<long long>(r.index_bytes));
+  }
+  table.print(std::cout, "scan vs QueryIndex crossover per pair length");
+  write_json("results/bench_query.json", results);
+  return 0;
+}

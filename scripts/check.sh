@@ -6,6 +6,11 @@
 # from larger allocations -- exactly the kind of code where an off-by-one
 # survives a release build unnoticed.
 #
+# The TSan leg builds only the engine and query-index test binaries and runs
+# the shared-kernel suites (LRU cache, scheduler, QueryIndex hammer tests):
+# many threads share one cached kernel and its once-built index, exactly the
+# code where a missing happens-before survives unnoticed on x86.
+#
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,7 +23,7 @@ while getopts "j:" opt; do
   esac
 done
 
-for preset in release asan; do
+for preset in release asan tsan; do
   echo "==> configure ($preset)"
   cmake --preset "$preset" >/dev/null
   echo "==> build ($preset)"

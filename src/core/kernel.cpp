@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/query_formulas.hpp"
+
 namespace semilocal {
 
 SemiLocalKernel::SemiLocalKernel(Permutation kernel, Index m, Index n)
@@ -20,43 +22,28 @@ Index SemiLocalKernel::sigma(Index i, Index j) const {
 }
 
 Index SemiLocalKernel::h(Index i, Index j) const {
-  if (i < 0 || j < 0 || i > order() || j > order()) {
-    throw std::out_of_range("SemiLocalKernel::h: index outside [0, m+n]");
-  }
-  return j - i + m_ - sigma(i, j);
+  check_h_range(order(), i, j);
+  return h_from_sigma(m_, i, j, sigma(i, j));
 }
 
 Index SemiLocalKernel::string_substring(Index j0, Index j1) const {
-  if (j0 < 0 || j1 < j0 || j1 > n_) {
-    throw std::out_of_range("string_substring: need 0 <= j0 <= j1 <= n");
-  }
-  // Window b[j0, j1) sits at H(m + j0, j1): no padding involved.
-  return h(m_ + j0, j1);
+  const HQuery q = string_substring_query(m_, n_, j0, j1);
+  return h(q.i, q.j) - q.correction;
 }
 
 Index SemiLocalKernel::substring_string(Index i0, Index i1) const {
-  if (i0 < 0 || i1 < i0 || i1 > m_) {
-    throw std::out_of_range("substring_string: need 0 <= i0 <= i1 <= m");
-  }
-  // Window ?^{i0} b ?^{m-i1}: each wildcard contributes one free match
-  // against the clipped ends of a.
-  return h(m_ - i0, n_ + (m_ - i1)) - i0 - (m_ - i1);
+  const HQuery q = substring_string_query(m_, n_, i0, i1);
+  return h(q.i, q.j) - q.correction;
 }
 
 Index SemiLocalKernel::prefix_suffix(Index k, Index l) const {
-  if (k < 0 || k > m_ || l < 0 || l > n_) {
-    throw std::out_of_range("prefix_suffix: need k in [0,m], l in [0,n]");
-  }
-  // LCS(a[0,k), b[l,n)) via window b[l,n) ?^{m-k}.
-  return h(m_ + l, n_ + (m_ - k)) - (m_ - k);
+  const HQuery q = prefix_suffix_query(m_, n_, k, l);
+  return h(q.i, q.j) - q.correction;
 }
 
 Index SemiLocalKernel::suffix_prefix(Index s, Index j) const {
-  if (s < 0 || s > m_ || j < 0 || j > n_) {
-    throw std::out_of_range("suffix_prefix: need s in [0,m], j in [0,n]");
-  }
-  // LCS(a[s,m), b[0,j)) via window ?^{s} b[0,j).
-  return h(m_ - s, j) - s;
+  const HQuery q = suffix_prefix_query(m_, n_, s, j);
+  return h(q.i, q.j) - q.correction;
 }
 
 void SemiLocalKernel::enable_dense_queries() {
@@ -72,7 +59,7 @@ DenseMatrix SemiLocalKernel::to_h_matrix() const {
   DenseMatrix h(order() + 1, order() + 1, 0);
   for (Index i = 0; i <= order(); ++i) {
     for (Index j = 0; j <= order(); ++j) {
-      h.at(i, j) = j - i + m_ - sigma_m.at(i, j);
+      h.at(i, j) = h_from_sigma(m_, i, j, sigma_m.at(i, j));
     }
   }
   return h;

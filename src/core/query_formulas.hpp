@@ -1,0 +1,82 @@
+// The one home of the semi-local query formulas.
+//
+// Every query over a kernel P_{a,b} reduces to a single element of the
+// implicit LCS matrix of Definition 3.3,
+//
+//   H(i, j) = j - i + m - sigma(i, j),
+//
+// shifted by a correction that accounts for the wildcard padding of
+// Definition 3.2's window (each wildcard contributes one free match). These
+// mappings used to be duplicated between SemiLocalKernel (core/kernel.cpp)
+// and the engine's thread-safe query layer (engine/query.cpp); both -- and
+// the shared QueryIndex -- now go through this header, so a formula fix in
+// one place fixes every query path (tests/test_query_index.cpp pins the
+// agreement on random kernels).
+#pragma once
+
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace semilocal {
+
+/// A semi-local query lowered to H coordinates: answer = H(i, j) - correction.
+struct HQuery {
+  Index i = 0;
+  Index j = 0;
+  Index correction = 0;
+};
+
+/// H(i, j) from the dominance count sigma(i, j) (Definition 3.3).
+[[nodiscard]] inline Index h_from_sigma(Index m, Index i, Index j, Index sigma) {
+  return j - i + m - sigma;
+}
+
+/// Validates i, j in [0, order]; order = m + n.
+inline void check_h_range(Index order, Index i, Index j) {
+  if (i < 0 || j < 0 || i > order || j > order) {
+    throw std::out_of_range("semi-local h: index outside [0, m+n]");
+  }
+}
+
+/// LCS(a, b): the global score sits at H(m, n).
+[[nodiscard]] inline HQuery lcs_query(Index m, Index n) { return {m, n, 0}; }
+
+/// string-substring: LCS(a, b[j0, j1)), 0 <= j0 <= j1 <= n. Window b[j0, j1)
+/// sits at H(m + j0, j1): no padding involved.
+[[nodiscard]] inline HQuery string_substring_query(Index m, Index n, Index j0,
+                                                   Index j1) {
+  if (j0 < 0 || j1 < j0 || j1 > n) {
+    throw std::out_of_range("string_substring: need 0 <= j0 <= j1 <= n");
+  }
+  return {m + j0, j1, 0};
+}
+
+/// substring-string: LCS(a[i0, i1), b), 0 <= i0 <= i1 <= m. Window
+/// ?^{i0} b ?^{m-i1}: each wildcard contributes one free match against the
+/// clipped ends of a.
+[[nodiscard]] inline HQuery substring_string_query(Index m, Index n, Index i0,
+                                                   Index i1) {
+  if (i0 < 0 || i1 < i0 || i1 > m) {
+    throw std::out_of_range("substring_string: need 0 <= i0 <= i1 <= m");
+  }
+  return {m - i0, n + (m - i1), i0 + (m - i1)};
+}
+
+/// prefix-suffix: LCS(a[0, k), b[l, n)) via window b[l, n) ?^{m-k}.
+[[nodiscard]] inline HQuery prefix_suffix_query(Index m, Index n, Index k, Index l) {
+  if (k < 0 || k > m || l < 0 || l > n) {
+    throw std::out_of_range("prefix_suffix: need k in [0,m], l in [0,n]");
+  }
+  return {m + l, n + (m - k), m - k};
+}
+
+/// suffix-prefix: LCS(a[s, m), b[0, j)) via window ?^{s} b[0, j).
+[[nodiscard]] inline HQuery suffix_prefix_query(Index m, Index n, Index s, Index j) {
+  if (s < 0 || s > m || j < 0 || j > n) {
+    throw std::out_of_range("suffix_prefix: need s in [0,m], j in [0,n]");
+  }
+  return {m - s, j, s};
+}
+
+}  // namespace semilocal

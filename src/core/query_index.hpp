@@ -1,0 +1,112 @@
+// Shared immutable query accelerator for a semi-local kernel.
+//
+// SemiLocalKernel's own query methods build a mergesort tree lazily behind a
+// `mutable` pointer -- correct for a single owner, a data race when one
+// cached kernel is shared by many serving threads. A QueryIndex is the
+// serving-path alternative: built exactly once from a kernel, immutable
+// afterwards, so any number of threads may query it concurrently with no
+// synchronization whatsoever. Queries run in O(log n) through a flattened
+// single-allocation wavelet tree (dominance/wavelet_tree.hpp) and the shared
+// coordinate formulas of core/query_formulas.hpp, replacing the engine's
+// former O(m + n) dominance scan on the warm path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/kernel.hpp"
+#include "core/query_formulas.hpp"
+#include "dominance/wavelet_tree.hpp"
+#include "util/types.hpp"
+
+namespace semilocal {
+
+class QueryIndex {
+ public:
+  /// Builds the index from the kernel permutation: O(n log n) time and bits.
+  explicit QueryIndex(const SemiLocalKernel& kernel)
+      : tree_(kernel.permutation()), m_(kernel.m()), n_(kernel.n()) {}
+
+  [[nodiscard]] Index m() const { return m_; }
+  [[nodiscard]] Index n() const { return n_; }
+  [[nodiscard]] Index order() const { return m_ + n_; }
+
+  /// Dominance count sigma(i, j), O(log n).
+  [[nodiscard]] Index sigma(Index i, Index j) const { return tree_.count(i, j); }
+
+  /// Element H(i, j) of the semi-local LCS matrix, i, j in [0, m+n].
+  [[nodiscard]] Index h(Index i, Index j) const {
+    check_h_range(order(), i, j);
+    return h_from_sigma(m_, i, j, sigma(i, j));
+  }
+
+  /// LCS(a, b): the global score.
+  [[nodiscard]] Index lcs() const { return answer(lcs_query(m_, n_)); }
+
+  /// string-substring: LCS(a, b[j0, j1)), 0 <= j0 <= j1 <= n.
+  [[nodiscard]] Index string_substring(Index j0, Index j1) const {
+    return answer(string_substring_query(m_, n_, j0, j1));
+  }
+
+  /// substring-string: LCS(a[i0, i1), b), 0 <= i0 <= i1 <= m.
+  [[nodiscard]] Index substring_string(Index i0, Index i1) const {
+    return answer(substring_string_query(m_, n_, i0, i1));
+  }
+
+  /// prefix-suffix: LCS(a[0, k), b[l, n)).
+  [[nodiscard]] Index prefix_suffix(Index k, Index l) const {
+    return answer(prefix_suffix_query(m_, n_, k, l));
+  }
+
+  /// suffix-prefix: LCS(a[s, m), b[0, j)).
+  [[nodiscard]] Index suffix_prefix(Index s, Index j) const {
+    return answer(suffix_prefix_query(m_, n_, s, j));
+  }
+
+  /// Answers `count` lowered queries at once: out[t] = H(q.i, q.j) - q.correction.
+  /// Routes through the wavelet tree's interleaved batch descent, which
+  /// overlaps several queries' rank-load chains -- the fast path for the
+  /// batched protocol op (one frame, many windows over one pair). Queries
+  /// must already be range-checked (the lowering formulas throw otherwise).
+  void answer_many(const HQuery* queries, Index* out, std::size_t count) const {
+    constexpr std::size_t kChunk = 128;
+    Index is[kChunk];
+    Index js[kChunk];
+    Index sigmas[kChunk];
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk = std::min(kChunk, count - done);
+      for (std::size_t t = 0; t < chunk; ++t) {
+        is[t] = queries[done + t].i;
+        js[t] = queries[done + t].j;
+      }
+      tree_.count_many(is, js, sigmas, chunk);
+      for (std::size_t t = 0; t < chunk; ++t) {
+        const HQuery& q = queries[done + t];
+        out[done + t] = h_from_sigma(m_, q.i, q.j, sigmas[t]) - q.correction;
+      }
+      done += chunk;
+    }
+  }
+
+  /// Heap bytes the index occupies.
+  [[nodiscard]] std::size_t resident_bytes() const { return tree_.resident_bytes(); }
+
+  /// Bytes an index over a kernel of this order will occupy, computable
+  /// before building it -- the LRU cache charges entries for their index up
+  /// front so the accounting never changes underneath it.
+  [[nodiscard]] static std::size_t projected_bytes(Index order) {
+    return FlatWaveletTree::projected_bytes(order);
+  }
+
+ private:
+  [[nodiscard]] Index answer(const HQuery& q) const {
+    return h_from_sigma(m_, q.i, q.j, sigma(q.i, q.j)) - q.correction;
+  }
+
+  FlatWaveletTree tree_;
+  Index m_ = 0;
+  Index n_ = 0;
+};
+
+}  // namespace semilocal

@@ -7,6 +7,7 @@
 // instead of whole column indices.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +48,11 @@ class RankBitvector {
 
   [[nodiscard]] Index size() const { return size_; }
 
+  /// Heap bytes held by the bit words and the rank directory.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return bits_.size() * sizeof(Word) + ranks_.size() * sizeof(Index);
+  }
+
  private:
   Index size_ = 0;
   std::vector<Word> bits_;
@@ -65,6 +71,13 @@ class WaveletTree {
   [[nodiscard]] Index size() const { return n_; }
   [[nodiscard]] int levels() const { return levels_; }
 
+  /// Heap bytes across all per-level bitvectors.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    std::size_t total = level_zeros_.size() * sizeof(Index);
+    for (const RankBitvector& bv : level_bits_) total += bv.resident_bytes();
+    return total;
+  }
+
  private:
   // Count of values < j among positions [lo, hi) of the original array.
   [[nodiscard]] Index count_less(Index lo, Index hi, Index j) const;
@@ -73,6 +86,98 @@ class WaveletTree {
   int levels_ = 0;
   std::vector<RankBitvector> level_bits_;  // bit of the value at each level, MSB first
   std::vector<Index> level_zeros_;         // number of 0-bits per level
+};
+
+/// Flattened wavelet tree: the same O(log n) dominance counting as
+/// WaveletTree, with every level's bits, superblock ranks, and per-word rank
+/// offsets packed into ONE allocation.
+///
+/// This is the structure the serving path shares across threads (see
+/// core/query_index.hpp): immutable after construction, so any number of
+/// readers may query it lock-free, and a single contiguous pool keeps the
+/// per-kernel footprint exactly predictable (projected_bytes) -- the LRU
+/// cache charges an index against its byte budget before it is even built.
+///
+/// Rank layout per level: a u64 cumulative rank per 8-word (512-bit)
+/// superblock plus a u16 in-superblock offset per word, so rank1 is two
+/// array loads and one hardware popcount -- no scan. This halves the rank
+/// directory relative to RankBitvector's u64-per-word prefix array.
+///
+/// Kernel queries are always suffix counts (sigma's range ends at n), so
+/// the range's upper boundary descends along j's bit path through node
+/// interval ends only; a per-node directory (end position + rank1(end)
+/// packed in one u64, heap order) replaces that whole rank chain with one
+/// load, leaving a single rank per level.
+class FlatWaveletTree {
+ public:
+  FlatWaveletTree() = default;
+  explicit FlatWaveletTree(const Permutation& p);
+
+  /// Dominance count sigma(i, j) = |{(r, c) : r >= i, c < j}|, O(log n).
+  [[nodiscard]] Index count(Index i, Index j) const;
+
+  /// Batched count: out[t] = count(is[t], js[t]) for t in [0, queries).
+  /// Interleaves several descents so their rank-load chains overlap -- a
+  /// single descent is latency-bound on the serial per-level dependency, so
+  /// a 64-window protocol frame answers markedly faster through this path
+  /// than through `queries` independent count() calls.
+  void count_many(const Index* is, const Index* js, Index* out,
+                  std::size_t queries) const;
+
+  [[nodiscard]] Index size() const { return n_; }
+  [[nodiscard]] int levels() const { return levels_; }
+
+  /// Heap bytes of the pooled storage (equals projected_bytes(size())).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// Pool bytes a tree over a permutation of order n will occupy, computable
+  /// without building it (used for cache byte accounting).
+  [[nodiscard]] static std::size_t projected_bytes(Index n);
+
+ private:
+  static constexpr Index kSuperWords = 8;  // 512-bit superblocks
+
+  /// 1-bits in [0, pos) of the given level's bitvector.
+  [[nodiscard]] Index rank1(int level, Index pos) const;
+
+  /// Count of values < j among positions [lo, n) of the original array;
+  /// callers guarantee 0 <= lo <= n and 0 < j < n. Only suffix ranges are
+  /// supported: the range's upper boundary is then always the end of the
+  /// node j's bit path visits, whose rank is precomputed in the node
+  /// directory -- one rank chain per level instead of two.
+  [[nodiscard]] Index count_suffix_less(Index lo, Index j) const;
+
+  [[nodiscard]] const Word* level_words(int level) const {
+    return pool_.data() + static_cast<std::size_t>(level) * words_per_level_;
+  }
+  [[nodiscard]] const std::uint64_t* supers() const {
+    return pool_.data() + static_cast<std::size_t>(levels_) * words_per_level_;
+  }
+  [[nodiscard]] const std::uint16_t* offsets() const {
+    return reinterpret_cast<const std::uint16_t*>(
+        supers() + static_cast<std::size_t>(levels_) * supers_per_level_);
+  }
+  // Node directory, heap order (root 0, children 2k+1 / 2k+2): each entry
+  // packs the node interval's end position in the level's concatenated
+  // array (low 32 bits) and the level-global rank1 of that end (high 32).
+  // A suffix query's upper boundary descends exactly along j's bit path, so
+  // these two constants replace its whole rank computation.
+  [[nodiscard]] const std::uint64_t* node_dir() const {
+    const std::size_t offset_words =
+        (static_cast<std::size_t>(levels_) * words_per_level_ + 3) / 4;
+    return supers() + static_cast<std::size_t>(levels_) * supers_per_level_ +
+           offset_words;
+  }
+
+  Index n_ = 0;
+  int levels_ = 0;
+  std::size_t words_per_level_ = 0;
+  std::size_t supers_per_level_ = 0;
+  // [ bits: levels x words | superblock ranks: levels x supers (u64)
+  //   | word offsets: levels x words (u16, padded to a word boundary)
+  //   | node directory: 2^levels - 1 entries (u64) ]
+  std::vector<Word> pool_;
+  std::vector<Index> level_zeros_;  // number of 0-bits per level
 };
 
 }  // namespace semilocal

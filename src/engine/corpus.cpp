@@ -44,7 +44,8 @@ CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
     for (std::size_t k = 0; k < count; ++k) {
       const SequencePair& pair = pairs[base + k];
       store.put(make_pair_key(pair.a, pair.b),
-                std::make_shared<const SemiLocalKernel>(std::move(kernels[k])));
+                std::make_shared<const CachedKernel>(
+                    std::make_shared<const SemiLocalKernel>(std::move(kernels[k]))));
       ++report.computed;
     }
   }

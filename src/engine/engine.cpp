@@ -3,52 +3,83 @@
 namespace semilocal {
 namespace {
 
-std::shared_future<KernelPtr> ready_future(KernelPtr kernel) {
-  std::promise<KernelPtr> promise;
-  promise.set_value(std::move(kernel));
+std::shared_future<CachedKernelPtr> ready_future(CachedKernelPtr entry) {
+  std::promise<CachedKernelPtr> promise;
+  promise.set_value(std::move(entry));
   return promise.get_future().share();
 }
 
 }  // namespace
 
 ComparisonEngine::ComparisonEngine(EngineOptions options)
-    : store_(options.store), scheduler_(store_, options.scheduler, &latency_) {}
+    : options_(options),
+      store_(options.store),
+      scheduler_(store_, options.scheduler, &latency_, &counters_) {}
 
-std::shared_future<KernelPtr> ComparisonEngine::kernel_async(SequenceView a,
-                                                             SequenceView b) {
+std::shared_future<CachedKernelPtr> ComparisonEngine::entry_async(SequenceView a,
+                                                                  SequenceView b) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   const PairKey key = make_pair_key(a, b);
   Timer lookup;
-  if (KernelPtr hit = store_.find(key)) {
+  if (CachedKernelPtr hit = store_.find(key)) {
     latency_.record(lookup.milliseconds());
     return ready_future(std::move(hit));
   }
   return scheduler_.submit(key, Sequence(a.begin(), a.end()), Sequence(b.begin(), b.end()));
 }
 
+CachedKernelPtr ComparisonEngine::entry(SequenceView a, SequenceView b) {
+  return entry_async(a, b).get();
+}
+
 KernelPtr ComparisonEngine::kernel(SequenceView a, SequenceView b) {
-  return kernel_async(a, b).get();
+  return entry(a, b)->kernel_ptr();
+}
+
+Index ComparisonEngine::answer(const CachedKernel& entry, QueryKind kind, Index x,
+                               Index y) {
+  return answer_query(entry, kind, x, y, options_.index_queries, &counters_);
 }
 
 Index ComparisonEngine::lcs(SequenceView a, SequenceView b) {
-  return kernel_lcs(*kernel(a, b));
+  return answer(*entry(a, b), QueryKind::kLcs, 0, 0);
 }
 
 Index ComparisonEngine::string_substring(SequenceView a, SequenceView b, Index j0,
                                          Index j1) {
-  return kernel_string_substring(*kernel(a, b), j0, j1);
+  return answer(*entry(a, b), QueryKind::kStringSubstring, j0, j1);
 }
 
 Index ComparisonEngine::substring_string(SequenceView a, SequenceView b, Index i0,
                                          Index i1) {
-  return kernel_substring_string(*kernel(a, b), i0, i1);
+  return answer(*entry(a, b), QueryKind::kSubstringString, i0, i1);
+}
+
+std::vector<Index> ComparisonEngine::answer_batch(
+    SequenceView a, SequenceView b, const std::vector<WindowQuery>& windows) {
+  const CachedKernelPtr held = entry(a, b);
+  return answer_batch(*held, windows);
+}
+
+std::vector<Index> ComparisonEngine::answer_batch(
+    const CachedKernel& held, const std::vector<WindowQuery>& windows) {
+  std::vector<Index> values(windows.size());
+  answer_query_batch(held, windows.data(), values.data(), windows.size(),
+                     options_.index_queries, &counters_);
+  return values;
 }
 
 EngineStats ComparisonEngine::stats() const {
-  return EngineStats{.requests = requests_.load(std::memory_order_relaxed),
-                     .store = store_.stats(),
-                     .scheduler = scheduler_.stats(),
-                     .latency = latency_.snapshot()};
+  return EngineStats{
+      .requests = requests_.load(std::memory_order_relaxed),
+      .store = store_.stats(),
+      .scheduler = scheduler_.stats(),
+      .queries =
+          QueryStats{.indexed = counters_.indexed.load(std::memory_order_relaxed),
+                     .scanned = counters_.scanned.load(std::memory_order_relaxed),
+                     .index_builds =
+                         counters_.index_builds.load(std::memory_order_relaxed)},
+      .latency = latency_.snapshot()};
 }
 
 }  // namespace semilocal

@@ -1,9 +1,10 @@
 // The comparison engine: store + cache + scheduler behind one facade.
 //
 // A ComparisonEngine is the long-lived object a server holds: it owns the
-// kernel store (disk tier + LRU cache), the batching scheduler, and the
-// latency samples, and exposes the query layer that answers LCS-score and
-// substring-LCS requests straight off cached kernels. The flow per request:
+// kernel store (disk tier + LRU cache), the batching scheduler, the query
+// counters, and the latency samples, and exposes the query layer that
+// answers LCS-score and substring-LCS requests straight off cached kernels.
+// The flow per request:
 //
 //   request --> content hash --> cache hit? ----------------> answer
 //                                  | miss
@@ -17,10 +18,16 @@
 // Repeated pairs therefore cost one computation for the lifetime of the
 // store -- the engine stats counters make that auditable (computed stays at
 // the number of distinct pairs while requests grows).
+//
+// Every cached entry carries a shared immutable QueryIndex (built once,
+// read lock-free; see engine/query.hpp), so on the warm path queries cost
+// O(log n) instead of the O(m + n) dominance scan. `index_queries = false`
+// forces the scan path -- the ablation knob the benchmarks flip.
 #pragma once
 
 #include <atomic>
 #include <future>
+#include <vector>
 
 #include "engine/kernel_store.hpp"
 #include "engine/latency.hpp"
@@ -32,12 +39,16 @@ namespace semilocal {
 struct EngineOptions {
   KernelStoreOptions store;
   SchedulerOptions scheduler;
+  /// Route queries through each entry's QueryIndex (O(log n), built once).
+  /// false = always use the O(m + n) dominance scan.
+  bool index_queries = true;
 };
 
 struct EngineStats {
   std::uint64_t requests = 0;  ///< kernel acquisitions (all query kinds)
   KernelStoreStats store;
   SchedulerStats scheduler;
+  QueryStats queries;
   LatencyRecorder::Percentiles latency;
 
   /// Fraction of requests served from the in-memory cache.
@@ -52,19 +63,37 @@ class ComparisonEngine {
  public:
   explicit ComparisonEngine(EngineOptions options = {});
 
-  /// The kernel of (a, b): cache, then disk, then scheduled compute.
-  /// Blocking; throws EngineOverloaded under backpressure.
+  /// The cached entry (kernel + its once-built QueryIndex) of (a, b):
+  /// cache, then disk, then scheduled compute. Blocking; throws
+  /// EngineOverloaded under backpressure.
+  CachedKernelPtr entry(SequenceView a, SequenceView b);
+
+  /// Non-blocking variant: the future resolves when the entry is ready.
+  /// Cache and disk hits return an already-resolved future.
+  std::shared_future<CachedKernelPtr> entry_async(SequenceView a, SequenceView b);
+
+  /// The bare kernel of (a, b). Same acquisition path as entry().
   KernelPtr kernel(SequenceView a, SequenceView b);
 
-  /// Non-blocking variant: the future resolves when the kernel is ready.
-  /// Cache and disk hits return an already-resolved future.
-  std::shared_future<KernelPtr> kernel_async(SequenceView a, SequenceView b);
-
-  /// Query layer: answers off the (possibly cached) kernel via the
-  /// stateless thread-safe scans in engine/query.hpp.
+  /// Query layer: answers off the (possibly cached) entry, routed through
+  /// the QueryIndex or the dominance scan per `index_queries`.
   Index lcs(SequenceView a, SequenceView b);
   Index string_substring(SequenceView a, SequenceView b, Index j0, Index j1);
   Index substring_string(SequenceView a, SequenceView b, Index i0, Index i1);
+
+  /// One window off an already-acquired entry (serving fast path: acquire
+  /// once, answer many). Routing and counters as above.
+  Index answer(const CachedKernel& entry, QueryKind kind, Index x, Index y);
+
+  /// k windows over one pair: acquires the entry once, answers all windows
+  /// through the interleaved batch descent (or the scan loop when indexing
+  /// is off). This backs the batched protocol op.
+  std::vector<Index> answer_batch(SequenceView a, SequenceView b,
+                                  const std::vector<WindowQuery>& windows);
+
+  /// Same, off an already-acquired entry (the server's batch handler).
+  std::vector<Index> answer_batch(const CachedKernel& entry,
+                                  const std::vector<WindowQuery>& windows);
 
   [[nodiscard]] EngineStats stats() const;
 
@@ -74,8 +103,10 @@ class ComparisonEngine {
   [[nodiscard]] KernelStore& store() { return store_; }
 
  private:
+  EngineOptions options_;
   KernelStore store_;
   LatencyRecorder latency_;
+  QueryCounters counters_;
   KernelScheduler scheduler_;
   std::atomic<std::uint64_t> requests_{0};
 };

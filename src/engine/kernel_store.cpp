@@ -18,10 +18,10 @@ std::string KernelStore::path_for(const PairKey& key) const {
   return (fs::path(options_.dir) / (key.hex() + ".slk")).string();
 }
 
-KernelPtr KernelStore::find(const PairKey& key) {
+CachedKernelPtr KernelStore::find(const PairKey& key) {
   {
     std::lock_guard lock(mutex_);
-    if (KernelPtr hit = cache_.get(key)) return hit;
+    if (CachedKernelPtr hit = cache_.get(key)) return hit;
   }
   if (options_.dir.empty()) return nullptr;
   const std::string path = path_for(key);
@@ -43,18 +43,19 @@ KernelPtr KernelStore::find(const PairKey& key) {
     ++disk_errors_;
     return nullptr;
   }
+  auto entry = std::make_shared<const CachedKernel>(std::move(loaded));
   std::lock_guard lock(mutex_);
   ++disk_hits_;
-  cache_.put(key, loaded);
-  return loaded;
+  cache_.put(key, entry);
+  return entry;
 }
 
-void KernelStore::put(const PairKey& key, KernelPtr kernel) {
-  if (!kernel) return;
+void KernelStore::put(const PairKey& key, CachedKernelPtr entry) {
+  if (!entry) return;
   bool write_disk = false;
   {
     std::lock_guard lock(mutex_);
-    cache_.put(key, kernel);
+    cache_.put(key, entry);
     if (options_.persist && !options_.dir.empty()) {
       write_disk = true;
       ++disk_writes_;
@@ -67,7 +68,7 @@ void KernelStore::put(const PairKey& key, KernelPtr kernel) {
   const std::string path = path_for(key);
   const std::string tmp =
       path + ".tmp" + std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
-  save_kernel_file(tmp, *kernel);
+  save_kernel_file(tmp, entry->kernel());
   fs::rename(tmp, path);
 }
 

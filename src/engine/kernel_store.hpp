@@ -43,11 +43,14 @@ class KernelStore {
  public:
   explicit KernelStore(KernelStoreOptions options);
 
-  /// Cache, then disk. nullptr if the pair is in neither tier.
-  KernelPtr find(const PairKey& key);
+  /// Cache, then disk. nullptr if the pair is in neither tier. Disk hits
+  /// come back as fresh entries with no query index yet -- the index is
+  /// rebuilt lazily on first query (it is never persisted).
+  CachedKernelPtr find(const PairKey& key);
 
-  /// Inserts into the cache and (if configured) persists to disk.
-  void put(const PairKey& key, KernelPtr kernel);
+  /// Inserts into the cache and (if configured) persists the kernel to disk
+  /// (the entry's query index, if any, stays in memory only).
+  void put(const PairKey& key, CachedKernelPtr entry);
 
   /// True iff the disk tier holds this key (cache not consulted).
   [[nodiscard]] bool on_disk(const PairKey& key) const;

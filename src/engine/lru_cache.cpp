@@ -8,7 +8,7 @@ std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel) {
   return 2 * order * sizeof(Permutation::Entry) + 128;
 }
 
-KernelPtr LruKernelCache::get(const PairKey& key) {
+CachedKernelPtr LruKernelCache::get(const PairKey& key) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -16,21 +16,21 @@ KernelPtr LruKernelCache::get(const PairKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->kernel;
+  return it->second->value;
 }
 
-void LruKernelCache::put(const PairKey& key, KernelPtr kernel) {
-  if (!kernel) return;
-  const std::size_t bytes = kernel_resident_bytes(*kernel);
+void LruKernelCache::put(const PairKey& key, CachedKernelPtr entry) {
+  if (!entry) return;
+  const std::size_t bytes = entry->resident_bytes();
   if (bytes > budget_) return;  // would evict everything and still not fit
   if (const auto it = index_.find(key); it != index_.end()) {
     bytes_ -= it->second->bytes;
     bytes_ += bytes;
-    it->second->kernel = std::move(kernel);
+    it->second->value = std::move(entry);
     it->second->bytes = bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(kernel), bytes});
+    lru_.push_front(Entry{key, std::move(entry), bytes});
     index_.emplace(key, lru_.begin());
     bytes_ += bytes;
   }

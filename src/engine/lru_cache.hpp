@@ -1,32 +1,88 @@
 // Byte-budgeted LRU cache of semi-local kernels, keyed by content hash.
 //
-// The cached value is a shared_ptr<const SemiLocalKernel>: eviction drops the
-// cache's reference while in-flight queries keep theirs, so a kernel is never
+// The cached value is a shared_ptr<const CachedKernel>: the kernel plus its
+// lazily-attached QueryIndex. Eviction drops the cache's reference while
+// in-flight queries keep theirs, so neither the kernel nor its index is ever
 // freed under a reader. Capacity is a byte budget, not an entry count --
 // kernels scale with m + n, and a serving cache mixing 1 kb and 1 Mb kernels
-// needs to account for that. Counters (hits / misses / evictions) feed the
-// engine stats endpoint.
+// needs to account for that. An entry is charged for its index *up front*
+// (projected from the kernel order) whether or not the index is built yet,
+// so the accounting never changes underneath the LRU. Counters
+// (hits / misses / evictions) feed the engine stats endpoint.
 //
 // Not internally synchronized: the owner (KernelStore) serializes access.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/kernel.hpp"
+#include "core/query_index.hpp"
 #include "engine/key.hpp"
 
 namespace semilocal {
 
-/// Shared ownership handle the engine hands out for cached kernels.
+/// Shared ownership handle for a bare kernel.
 using KernelPtr = std::shared_ptr<const SemiLocalKernel>;
 
-/// Approximate resident bytes of a kernel: the two permutation maps plus a
-/// fixed object overhead. Query accelerators (mergesort tree etc.) are never
-/// built on cached kernels, so they don't count.
+/// Approximate resident bytes of a bare kernel: the two permutation maps
+/// plus a fixed object overhead (index not included; see CachedKernel).
 std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel);
+
+/// A kernel plus its shared immutable query index.
+///
+/// The index is built exactly once -- eagerly by a scheduler worker right
+/// after the kernel computation, or lazily on first query via std::call_once
+/// (disk hits, workers = 0 drain mode). After the build every reader gets it
+/// lock-free: index_if_built() is a single acquire load, and index() after
+/// completion is std::call_once's fast path. The object is immutable from
+/// the readers' point of view, so one entry may serve any number of
+/// connection threads concurrently.
+class CachedKernel {
+ public:
+  explicit CachedKernel(KernelPtr kernel) : kernel_(std::move(kernel)) {}
+  CachedKernel(const CachedKernel&) = delete;
+  CachedKernel& operator=(const CachedKernel&) = delete;
+
+  [[nodiscard]] const SemiLocalKernel& kernel() const { return *kernel_; }
+  [[nodiscard]] const KernelPtr& kernel_ptr() const { return kernel_; }
+
+  /// The query index, building it if this is the first call (thread-safe;
+  /// concurrent callers block until the one build finishes). `builds`
+  /// (optional) is incremented iff this call performed the build.
+  const QueryIndex& index(std::atomic<std::uint64_t>* builds = nullptr) const {
+    std::call_once(index_once_, [this, builds] {
+      index_ = std::make_unique<const QueryIndex>(*kernel_);
+      index_ready_.store(index_.get(), std::memory_order_release);
+      if (builds) builds->fetch_add(1, std::memory_order_relaxed);
+    });
+    return *index_;
+  }
+
+  /// Lock-free peek: the index if already built, nullptr otherwise.
+  [[nodiscard]] const QueryIndex* index_if_built() const {
+    return index_ready_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes this entry pins in the cache: kernel + (projected) index.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return kernel_resident_bytes(*kernel_) +
+           QueryIndex::projected_bytes(kernel_->order());
+  }
+
+ private:
+  KernelPtr kernel_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<const QueryIndex> index_;
+  mutable std::atomic<const QueryIndex*> index_ready_{nullptr};
+};
+
+/// Shared ownership handle the engine hands out for cached entries.
+using CachedKernelPtr = std::shared_ptr<const CachedKernel>;
 
 /// Counters exposed through EngineStats.
 struct LruCacheStats {
@@ -43,20 +99,20 @@ class LruKernelCache {
   /// A zero budget disables caching (every get misses, puts are dropped).
   explicit LruKernelCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
 
-  /// Returns the cached kernel and marks it most-recently-used, or nullptr.
-  KernelPtr get(const PairKey& key);
+  /// Returns the cached entry and marks it most-recently-used, or nullptr.
+  CachedKernelPtr get(const PairKey& key);
 
   /// Inserts (or refreshes) an entry, then evicts least-recently-used
   /// entries until the budget holds. An entry larger than the whole budget
   /// is not cached at all.
-  void put(const PairKey& key, KernelPtr kernel);
+  void put(const PairKey& key, CachedKernelPtr entry);
 
   [[nodiscard]] LruCacheStats stats() const;
 
  private:
   struct Entry {
     PairKey key;
-    KernelPtr kernel;
+    CachedKernelPtr value;
     std::size_t bytes = 0;
   };
 

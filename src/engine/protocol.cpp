@@ -106,8 +106,11 @@ std::optional<std::string> read_frame(std::istream& in) {
 }
 
 std::string encode_request(const Request& request) {
+  if (request.windows.size() > kMaxBatchWindows) {
+    throw ProtocolError("batch window count exceeds limit");
+  }
   std::string out;
-  out.reserve(21 + request.a.size() + request.b.size());
+  out.reserve(25 + request.a.size() + request.b.size() + 17 * request.windows.size());
   out.push_back(static_cast<char>(request.op));
   append_i64(out, request.x);
   append_i64(out, request.y);
@@ -115,6 +118,12 @@ std::string encode_request(const Request& request) {
   append_u32(out, static_cast<std::uint32_t>(request.b.size()));
   append_sequence_bytes(out, request.a);
   append_sequence_bytes(out, request.b);
+  append_u32(out, static_cast<std::uint32_t>(request.windows.size()));
+  for (const WindowQuery& w : request.windows) {
+    out.push_back(static_cast<char>(w.kind));
+    append_i64(out, w.x);
+    append_i64(out, w.y);
+  }
   return out;
 }
 
@@ -128,6 +137,7 @@ Request decode_request(std::string_view payload) {
     case Op::kStringSubstring:
     case Op::kSubstringString:
     case Op::kStats:
+    case Op::kBatchQuery:
       request.op = static_cast<Op>(op);
       break;
     default:
@@ -139,18 +149,42 @@ Request decode_request(std::string_view payload) {
   const std::uint32_t lb = reader.u32();
   request.a = reader.sequence(la);
   request.b = reader.sequence(lb);
+  const std::uint32_t wins = reader.u32();
+  if (wins > kMaxBatchWindows) throw ProtocolError("batch window count exceeds limit");
+  request.windows.reserve(wins);
+  for (std::uint32_t i = 0; i < wins; ++i) {
+    WindowQuery w;
+    const auto kind = reader.u8();
+    switch (static_cast<QueryKind>(kind)) {
+      case QueryKind::kLcs:
+      case QueryKind::kStringSubstring:
+      case QueryKind::kSubstringString:
+        w.kind = static_cast<QueryKind>(kind);
+        break;
+      default:
+        throw ProtocolError("unknown window query kind " + std::to_string(kind));
+    }
+    w.x = reader.i64();
+    w.y = reader.i64();
+    request.windows.push_back(w);
+  }
   reader.expect_end();
   return request;
 }
 
 std::string encode_response(const Response& response) {
+  if (response.values.size() > kMaxBatchWindows) {
+    throw ProtocolError("batch value count exceeds limit");
+  }
   std::string out;
-  out.reserve(21 + response.text.size());
+  out.reserve(25 + response.text.size() + 8 * response.values.size());
   out.push_back(static_cast<char>(response.status));
   append_i64(out, response.value);
   append_i64(out, response.retry_ms);
   append_u32(out, static_cast<std::uint32_t>(response.text.size()));
   out += response.text;
+  append_u32(out, static_cast<std::uint32_t>(response.values.size()));
+  for (const Index v : response.values) append_i64(out, v);
   return out;
 }
 
@@ -171,6 +205,10 @@ Response decode_response(std::string_view payload) {
   response.retry_ms = reader.i64();
   const std::uint32_t len = reader.u32();
   response.text = reader.text(len);
+  const std::uint32_t vals = reader.u32();
+  if (vals > kMaxBatchWindows) throw ProtocolError("batch value count exceeds limit");
+  response.values.reserve(vals);
+  for (std::uint32_t i = 0; i < vals; ++i) response.values.push_back(reader.i64());
   reader.expect_end();
   return response;
 }

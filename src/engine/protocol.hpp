@@ -7,9 +7,13 @@
 // rejected, which is all the evolution a point-to-point tool needs.
 //
 // Request payload:   u8 op | i64 x | i64 y | u32 |a| | u32 |b| | a | b
+//                    | u32 k | k * (u8 kind, i64 x, i64 y)
 //   (x, y are the query window for the substring ops; sequences travel as
-//    one byte per symbol, the to_sequence convention -- fine for DNA/text)
+//    one byte per symbol, the to_sequence convention -- fine for DNA/text;
+//    the trailing window list is the kBatchQuery payload, empty otherwise)
 // Response payload:  u8 status | i64 value | i64 retry_ms | u32 len | text
+//                    | u32 k | k * i64
+//   (the trailing value list answers kBatchQuery, one value per window)
 //
 // The same encode/decode pair runs on both ends (server, load generator,
 // tests), so framing bugs are structurally symmetric and caught by the
@@ -22,7 +26,9 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "engine/query.hpp"
 #include "util/types.hpp"
 
 namespace semilocal {
@@ -39,6 +45,7 @@ enum class Op : std::uint8_t {
   kStringSubstring = 2,  ///< LCS(a, b[x, y))
   kSubstringString = 3,  ///< LCS(a[x, y), b)
   kStats = 4,            ///< engine stats as JSON text
+  kBatchQuery = 5,       ///< k windows over one pair; values in response
 };
 
 enum class Status : std::uint8_t {
@@ -53,6 +60,8 @@ struct Request {
   Sequence b;
   Index x = 0;
   Index y = 0;
+  /// kBatchQuery only: the k windows to answer over (a, b) in one frame.
+  std::vector<WindowQuery> windows;
 };
 
 struct Response {
@@ -60,10 +69,16 @@ struct Response {
   Index value = 0;
   Index retry_ms = 0;
   std::string text;
+  /// kBatchQuery only: one answer per request window, in order.
+  std::vector<Index> values;
 };
 
 /// Frames larger than this are rejected on read and refused on write.
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;  // 64 MiB
+
+/// Windows per kBatchQuery frame are capped so a hostile peer cannot turn a
+/// small frame into an unbounded allocation or an unbounded unit of work.
+inline constexpr std::size_t kMaxBatchWindows = std::size_t{1} << 16;  // 65536
 
 /// Writes one frame (length prefix + payload). Throws ProtocolError if the
 /// payload exceeds kMaxFrameBytes, std::runtime_error on stream failure.

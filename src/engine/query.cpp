@@ -1,34 +1,102 @@
 #include "engine/query.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/query_formulas.hpp"
 
 namespace semilocal {
 
 Index kernel_h(const SemiLocalKernel& kernel, Index i, Index j) {
-  if (i < 0 || j < 0 || i > kernel.order() || j > kernel.order()) {
-    throw std::out_of_range("kernel_h: index outside [0, m+n]");
-  }
-  return j - i + kernel.m() - kernel.permutation().dominance_sum(i, j);
+  check_h_range(kernel.order(), i, j);
+  return h_from_sigma(kernel.m(), i, j, kernel.permutation().dominance_sum(i, j));
 }
 
+namespace {
+
+Index scan_answer(const SemiLocalKernel& kernel, const HQuery& q) {
+  return kernel_h(kernel, q.i, q.j) - q.correction;
+}
+
+HQuery lower_window(Index m, Index n, const WindowQuery& w) {
+  switch (w.kind) {
+    case QueryKind::kLcs:
+      return lcs_query(m, n);
+    case QueryKind::kStringSubstring:
+      return string_substring_query(m, n, w.x, w.y);
+    case QueryKind::kSubstringString:
+      return substring_string_query(m, n, w.x, w.y);
+  }
+  throw std::invalid_argument("answer_query_batch: unknown query kind");
+}
+
+}  // namespace
+
 Index kernel_lcs(const SemiLocalKernel& kernel) {
-  return kernel_h(kernel, kernel.m(), kernel.n());
+  return scan_answer(kernel, lcs_query(kernel.m(), kernel.n()));
 }
 
 Index kernel_string_substring(const SemiLocalKernel& kernel, Index j0, Index j1) {
-  if (j0 < 0 || j1 < j0 || j1 > kernel.n()) {
-    throw std::out_of_range("kernel_string_substring: need 0 <= j0 <= j1 <= n");
-  }
-  return kernel_h(kernel, kernel.m() + j0, j1);
+  return scan_answer(kernel, string_substring_query(kernel.m(), kernel.n(), j0, j1));
 }
 
 Index kernel_substring_string(const SemiLocalKernel& kernel, Index i0, Index i1) {
-  if (i0 < 0 || i1 < i0 || i1 > kernel.m()) {
-    throw std::out_of_range("kernel_substring_string: need 0 <= i0 <= i1 <= m");
+  return scan_answer(kernel, substring_string_query(kernel.m(), kernel.n(), i0, i1));
+}
+
+Index answer_query(const CachedKernel& entry, QueryKind kind, Index x, Index y,
+                   bool use_index, QueryCounters* counters) {
+  if (use_index) {
+    const QueryIndex& index =
+        entry.index(counters ? &counters->index_builds : nullptr);
+    if (counters) counters->indexed.fetch_add(1, std::memory_order_relaxed);
+    switch (kind) {
+      case QueryKind::kLcs:
+        return index.lcs();
+      case QueryKind::kStringSubstring:
+        return index.string_substring(x, y);
+      case QueryKind::kSubstringString:
+        return index.substring_string(x, y);
+    }
   }
-  const Index m = kernel.m();
-  const Index n = kernel.n();
-  return kernel_h(kernel, m - i0, n + (m - i1)) - i0 - (m - i1);
+  if (counters) counters->scanned.fetch_add(1, std::memory_order_relaxed);
+  const SemiLocalKernel& kernel = entry.kernel();
+  switch (kind) {
+    case QueryKind::kLcs:
+      return kernel_lcs(kernel);
+    case QueryKind::kStringSubstring:
+      return kernel_string_substring(kernel, x, y);
+    case QueryKind::kSubstringString:
+      return kernel_substring_string(kernel, x, y);
+  }
+  throw std::invalid_argument("answer_query: unknown query kind");
+}
+
+void answer_query_batch(const CachedKernel& entry, const WindowQuery* windows,
+                        Index* out, std::size_t count, bool use_index,
+                        QueryCounters* counters) {
+  if (count == 0) return;
+  if (use_index) {
+    const QueryIndex& index =
+        entry.index(counters ? &counters->index_builds : nullptr);
+    constexpr std::size_t kChunk = 128;
+    HQuery lowered[kChunk];
+    std::size_t done = 0;
+    while (done < count) {
+      const std::size_t chunk = std::min(kChunk, count - done);
+      for (std::size_t t = 0; t < chunk; ++t) {
+        lowered[t] = lower_window(index.m(), index.n(), windows[done + t]);
+      }
+      index.answer_many(lowered, out + done, chunk);
+      done += chunk;
+    }
+    if (counters) counters->indexed.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    out[t] = answer_query(entry, windows[t].kind, windows[t].x, windows[t].y,
+                          /*use_index=*/false, counters);
+  }
 }
 
 }  // namespace semilocal

@@ -1,15 +1,28 @@
 // Thread-safe queries over shared cached kernels.
 //
-// SemiLocalKernel's own query methods build a mergesort tree lazily behind a
-// mutable pointer -- correct for a single owner, a data race for an engine
-// handing one shared kernel to many connection threads. The serving path
-// therefore answers queries with the stateless O(m + n) dominance scan on
-// the (immutable) permutation: no hidden state, no synchronization, and for
-// one-shot queries the scan is cheaper than building the tree anyway.
-// Formulas mirror core/kernel.cpp (Definition 3.2 / 3.3 of the paper).
+// Two interchangeable answer paths, both safe for any number of threads on
+// one shared kernel:
+//
+//   * Indexed (the warm serving path): O(log n) dominance counts through the
+//     entry's shared immutable QueryIndex, built exactly once (eagerly by a
+//     scheduler worker, or lazily via std::call_once) and then read
+//     lock-free.
+//   * Scan (the fallback): the stateless O(m + n) dominance scan on the
+//     immutable permutation -- no hidden state, no synchronization, and for
+//     a one-shot query cheaper than building any structure.
+//
+// answer_query() routes between them and feeds the queries_indexed /
+// queries_scanned / index_builds counter triple the stats endpoint surfaces.
+// All coordinate formulas come from core/query_formulas.hpp, the same header
+// SemiLocalKernel itself uses (Definition 3.2 / 3.3 of the paper).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
 #include "core/kernel.hpp"
+#include "engine/lru_cache.hpp"
 #include "util/types.hpp"
 
 namespace semilocal {
@@ -25,5 +38,52 @@ Index kernel_string_substring(const SemiLocalKernel& kernel, Index j0, Index j1)
 
 /// substring-string: LCS(a[i0, i1), b), 0 <= i0 <= i1 <= m.
 Index kernel_substring_string(const SemiLocalKernel& kernel, Index i0, Index i1);
+
+/// The query kinds the serving path answers off a cached kernel.
+enum class QueryKind : std::uint8_t {
+  kLcs = 0,              ///< LCS(a, b); window arguments ignored
+  kStringSubstring = 1,  ///< LCS(a, b[x, y))
+  kSubstringString = 2,  ///< LCS(a[x, y), b)
+};
+
+/// The counter triple surfaced through the JSON stats endpoint.
+struct QueryCounters {
+  std::atomic<std::uint64_t> indexed{0};       ///< queries answered via QueryIndex
+  std::atomic<std::uint64_t> scanned{0};       ///< queries answered via the O(m+n) scan
+  std::atomic<std::uint64_t> index_builds{0};  ///< QueryIndex constructions
+};
+
+/// Plain-value snapshot of QueryCounters for EngineStats.
+struct QueryStats {
+  std::uint64_t indexed = 0;
+  std::uint64_t scanned = 0;
+  std::uint64_t index_builds = 0;
+};
+
+/// One window of a batched query: a query kind plus its two window
+/// coordinates (ignored for kLcs). This is the unit the batched protocol op
+/// carries k of per frame.
+struct WindowQuery {
+  QueryKind kind = QueryKind::kLcs;
+  Index x = 0;
+  Index y = 0;
+};
+
+/// Answers one query off a shared cached entry. With `use_index` the entry's
+/// QueryIndex answers in O(log n), building it first if this is its very
+/// first use; otherwise the O(m + n) scan answers statelessly. `counters`
+/// (optional) receives the routing decision. Throws std::out_of_range on a
+/// bad window.
+Index answer_query(const CachedKernel& entry, QueryKind kind, Index x, Index y,
+                   bool use_index, QueryCounters* counters = nullptr);
+
+/// Answers `count` windows over one shared entry into `out`. The indexed
+/// path lowers all windows up front and runs the QueryIndex's interleaved
+/// batch descent (several wavelet descents in flight), which is what makes
+/// the batched protocol op faster than `count` single calls; the scan path
+/// degenerates to a loop. Throws std::out_of_range on any bad window.
+void answer_query_batch(const CachedKernel& entry, const WindowQuery* windows,
+                        Index* out, std::size_t count, bool use_index,
+                        QueryCounters* counters = nullptr);
 
 }  // namespace semilocal

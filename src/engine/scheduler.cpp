@@ -7,17 +7,17 @@
 namespace semilocal {
 namespace {
 
-std::shared_future<KernelPtr> ready_future(KernelPtr kernel) {
-  std::promise<KernelPtr> promise;
-  promise.set_value(std::move(kernel));
+std::shared_future<CachedKernelPtr> ready_future(CachedKernelPtr entry) {
+  std::promise<CachedKernelPtr> promise;
+  promise.set_value(std::move(entry));
   return promise.get_future().share();
 }
 
 }  // namespace
 
 KernelScheduler::KernelScheduler(KernelStore& store, SchedulerOptions options,
-                                 LatencyRecorder* latency)
-    : store_(store), options_(options), latency_(latency) {
+                                 LatencyRecorder* latency, QueryCounters* counters)
+    : store_(store), options_(options), latency_(latency), counters_(counters) {
   threads_.reserve(static_cast<std::size_t>(std::max(0, options_.workers)));
   for (int i = 0; i < options_.workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -33,8 +33,8 @@ KernelScheduler::~KernelScheduler() {
   for (std::thread& t : threads_) t.join();
 }
 
-std::shared_future<KernelPtr> KernelScheduler::submit(const PairKey& key, Sequence a,
-                                                      Sequence b) {
+std::shared_future<CachedKernelPtr> KernelScheduler::submit(const PairKey& key,
+                                                            Sequence a, Sequence b) {
   std::unique_lock lock(mutex_);
   ++submitted_;
   // Duplicate of an in-flight pair: attach to the existing computation.
@@ -45,7 +45,7 @@ std::shared_future<KernelPtr> KernelScheduler::submit(const PairKey& key, Sequen
   // A pair that completed between the caller's cache probe and this lock is
   // gone from inflight_ but present in the store; re-probe so it is never
   // recomputed. (Lock order scheduler -> store; the store never calls back.)
-  if (KernelPtr hit = store_.find(key)) return ready_future(std::move(hit));
+  if (CachedKernelPtr hit = store_.find(key)) return ready_future(std::move(hit));
   if (queue_.size() >= options_.max_queue) {
     ++rejected_;
     // Hint scales with how many batches are queued ahead of the retrier.
@@ -77,11 +77,12 @@ void KernelScheduler::worker_loop() {
       if (stop_) return;
       continue;
     }
-    run_one_batch(lock);
+    run_one_batch(lock, options_.build_index);
   }
 }
 
-bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock) {
+bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock,
+                                    bool build_index) {
   if (queue_.empty()) return false;
   std::vector<JobPtr> batch;
   batch.reserve(std::min(queue_.size(), options_.max_batch));
@@ -97,12 +98,13 @@ bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock) {
   for (const JobPtr& job : batch) pairs.push_back({job->a, job->b});
   SemiLocalOptions per_pair = options_.compute;
   per_pair.parallel = false;  // this thread's tls_workspace serves the batch
-  std::vector<KernelPtr> results(batch.size());
+  std::vector<CachedKernelPtr> results(batch.size());
   std::exception_ptr failure;
   try {
     auto kernels = semi_local_kernel_batch(pairs, per_pair);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      results[i] = std::make_shared<const SemiLocalKernel>(std::move(kernels[i]));
+      results[i] = std::make_shared<const CachedKernel>(
+          std::make_shared<const SemiLocalKernel>(std::move(kernels[i])));
     }
   } catch (...) {
     failure = std::current_exception();
@@ -126,8 +128,21 @@ bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock) {
       batch[i]->promise.set_exception(failure);
     } else {
       if (latency_) latency_->record(batch[i]->queued.milliseconds());
-      batch[i]->promise.set_value(std::move(results[i]));
+      const CachedKernelPtr& entry = results[i];
+      batch[i]->promise.set_value(entry);
     }
+  }
+
+  // Eager index builds come *after* the promises resolve: the computing
+  // caller's latency stops at set_value, and the entry's std::call_once
+  // arbitrates cleanly if a fast client starts querying before the build
+  // lands. Done outside the lock -- builds are pure CPU on private data.
+  if (build_index && !failure) {
+    lock.unlock();
+    for (const CachedKernelPtr& entry : results) {
+      if (entry) (void)entry->index(counters_ ? &counters_->index_builds : nullptr);
+    }
+    lock.lock();
   }
   return true;
 }
@@ -135,7 +150,9 @@ bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock) {
 std::size_t KernelScheduler::drain() {
   std::unique_lock lock(mutex_);
   std::size_t batches = 0;
-  while (run_one_batch(lock)) ++batches;
+  // Never build indexes in drain mode: a workers = 0 engine answers its
+  // first query through the lazy std::call_once path instead.
+  while (run_one_batch(lock, /*build_index=*/false)) ++batches;
   return batches;
 }
 

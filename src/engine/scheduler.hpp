@@ -31,6 +31,7 @@
 #include "core/api.hpp"
 #include "engine/kernel_store.hpp"
 #include "engine/latency.hpp"
+#include "engine/query.hpp"
 #include "util/timer.hpp"
 
 namespace semilocal {
@@ -58,6 +59,11 @@ struct SchedulerOptions {
   /// Per-pair compute configuration (`parallel` is forced off: pairs are
   /// the parallel unit, one batch per worker thread).
   SemiLocalOptions compute;
+  /// Workers build each computed kernel's QueryIndex right after resolving
+  /// its promise -- off the caller's latency path, so the first warm query
+  /// finds the index ready. drain() never builds eagerly (workers = 0 mode
+  /// relies on the lazy std::call_once build instead).
+  bool build_index = true;
 };
 
 struct SchedulerStats {
@@ -73,9 +79,11 @@ struct SchedulerStats {
 class KernelScheduler {
  public:
   /// `latency` (optional) receives one sample per computed job, measured
-  /// submit-to-completion. Store results are published via `store.put`.
+  /// submit-to-completion. `counters` (optional) receives eager index
+  /// builds. Store results are published via `store.put`.
   KernelScheduler(KernelStore& store, SchedulerOptions options,
-                  LatencyRecorder* latency = nullptr);
+                  LatencyRecorder* latency = nullptr,
+                  QueryCounters* counters = nullptr);
   ~KernelScheduler();
   KernelScheduler(const KernelScheduler&) = delete;
   KernelScheduler& operator=(const KernelScheduler&) = delete;
@@ -84,7 +92,7 @@ class KernelScheduler {
   /// resolves when a worker (or drain()) computes the pair -- or an
   /// already-ready future if the pair is in the store or in flight.
   /// Throws EngineOverloaded when the queue is full.
-  std::shared_future<KernelPtr> submit(const PairKey& key, Sequence a, Sequence b);
+  std::shared_future<CachedKernelPtr> submit(const PairKey& key, Sequence a, Sequence b);
 
   /// Runs queued batches on the calling thread until the queue is empty.
   /// Returns the number of batches executed.
@@ -97,24 +105,27 @@ class KernelScheduler {
     PairKey key;
     Sequence a;
     Sequence b;
-    std::promise<KernelPtr> promise;
+    std::promise<CachedKernelPtr> promise;
     Timer queued;  // started at submission; read at completion
   };
   using JobPtr = std::shared_ptr<Job>;
 
   void worker_loop();
   /// Pops and computes one batch. `lock` is held on entry and exit,
-  /// released during compute. Returns false if the queue was empty.
-  bool run_one_batch(std::unique_lock<std::mutex>& lock);
+  /// released during compute. `build_index` additionally builds each
+  /// computed entry's QueryIndex after resolving the promises. Returns
+  /// false if the queue was empty.
+  bool run_one_batch(std::unique_lock<std::mutex>& lock, bool build_index);
 
   KernelStore& store_;
   SchedulerOptions options_;
   LatencyRecorder* latency_;
+  QueryCounters* counters_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::deque<JobPtr> queue_;
-  std::unordered_map<PairKey, std::shared_future<KernelPtr>, PairKeyHash> inflight_;
+  std::unordered_map<PairKey, std::shared_future<CachedKernelPtr>, PairKeyHash> inflight_;
   std::uint64_t submitted_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t computed_ = 0;

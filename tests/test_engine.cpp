@@ -42,10 +42,11 @@ class ScratchDir {
   fs::path path_;
 };
 
-KernelPtr make_kernel(Index la, Index lb, std::uint64_t seed) {
+CachedKernelPtr make_entry(Index la, Index lb, std::uint64_t seed) {
   const auto a = testing::random_string(la, 4, seed * 2 + 1);
   const auto b = testing::random_string(lb, 4, seed * 2 + 2);
-  return std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b));
+  return std::make_shared<const CachedKernel>(
+      std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b)));
 }
 
 PairKey key_for(std::uint64_t seed) {
@@ -55,10 +56,10 @@ PairKey key_for(std::uint64_t seed) {
 }
 
 TEST(LruCache, EvictsLeastRecentlyUsedFirst) {
-  const KernelPtr k0 = make_kernel(16, 16, 0);
-  const KernelPtr k1 = make_kernel(16, 16, 1);
-  const KernelPtr k2 = make_kernel(16, 16, 2);
-  const std::size_t each = kernel_resident_bytes(*k0);
+  const CachedKernelPtr k0 = make_entry(16, 16, 0);
+  const CachedKernelPtr k1 = make_entry(16, 16, 1);
+  const CachedKernelPtr k2 = make_entry(16, 16, 2);
+  const std::size_t each = k0->resident_bytes();
   // Budget fits exactly two equally-sized kernels.
   LruKernelCache cache(2 * each);
   cache.put(key_for(0), k0);
@@ -79,7 +80,7 @@ TEST(LruCache, EvictsLeastRecentlyUsedFirst) {
 TEST(LruCache, CountsHitsAndMisses) {
   LruKernelCache cache(std::size_t{1} << 20);
   EXPECT_EQ(cache.get(key_for(0)), nullptr);
-  cache.put(key_for(0), make_kernel(8, 8, 0));
+  cache.put(key_for(0), make_entry(8, 8, 0));
   EXPECT_NE(cache.get(key_for(0)), nullptr);
   EXPECT_EQ(cache.get(key_for(1)), nullptr);
   const LruCacheStats stats = cache.stats();
@@ -88,26 +89,26 @@ TEST(LruCache, CountsHitsAndMisses) {
 }
 
 TEST(LruCache, EntryLargerThanBudgetIsNotCached) {
-  const KernelPtr big = make_kernel(64, 64, 0);
-  LruKernelCache cache(kernel_resident_bytes(*big) - 1);
+  const CachedKernelPtr big = make_entry(64, 64, 0);
+  LruKernelCache cache(big->resident_bytes() - 1);
   cache.put(key_for(0), big);
   EXPECT_EQ(cache.get(key_for(0)), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(LruCache, EvictionNeverFreesUnderAReader) {
-  // A reader holding the KernelPtr keeps the kernel alive past eviction.
+  // A reader holding the entry pointer keeps it alive past eviction.
   LruKernelCache cache(std::size_t{1} << 10);
-  KernelPtr held;
+  CachedKernelPtr held;
   {
-    const KernelPtr k = make_kernel(16, 16, 0);
+    const CachedKernelPtr k = make_entry(16, 16, 0);
     cache.put(key_for(0), k);
     held = cache.get(key_for(0));
     ASSERT_NE(held, nullptr);
   }
-  for (std::uint64_t s = 1; s < 32; ++s) cache.put(key_for(s), make_kernel(16, 16, s));
+  for (std::uint64_t s = 1; s < 32; ++s) cache.put(key_for(s), make_entry(16, 16, s));
   EXPECT_EQ(cache.get(key_for(0)), nullptr);  // evicted from the cache...
-  EXPECT_EQ(held->m(), 16);                   // ...but still valid for the holder
+  EXPECT_EQ(held->kernel().m(), 16);          // ...but still valid for the holder
 }
 
 TEST(KernelStore, DiskTierSurvivesProcessRestart) {
@@ -119,16 +120,17 @@ TEST(KernelStore, DiskTierSurvivesProcessRestart) {
   options.dir = dir.str();
   {
     KernelStore store(options);
-    store.put(key, std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b)));
+    store.put(key, std::make_shared<const CachedKernel>(
+                       std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b))));
     EXPECT_EQ(store.stats().disk_writes, 1u);
     EXPECT_TRUE(store.on_disk(key));
   }
   // A fresh store (cold cache) over the same directory must load it back.
   KernelStore store(options);
-  const KernelPtr loaded = store.find(key);
+  const CachedKernelPtr loaded = store.find(key);
   ASSERT_NE(loaded, nullptr);
-  EXPECT_EQ(loaded->m(), 32);
-  EXPECT_EQ(loaded->n(), 40);
+  EXPECT_EQ(loaded->kernel().m(), 32);
+  EXPECT_EQ(loaded->kernel().n(), 40);
   EXPECT_EQ(store.stats().disk_hits, 1u);
   // The disk hit was promoted: the next find is a pure cache hit.
   ASSERT_NE(store.find(key), nullptr);
@@ -162,8 +164,8 @@ TEST(Scheduler, DuplicateSubmissionsCoalesceToOneComputation) {
   ComparisonEngine engine(drain_mode());
   const auto a = testing::random_string(64, 4, 1);
   const auto b = testing::random_string(64, 4, 2);
-  auto first = engine.kernel_async(a, b);
-  auto second = engine.kernel_async(a, b);
+  auto first = engine.entry_async(a, b);
+  auto second = engine.entry_async(a, b);
   EXPECT_GT(engine.drain(), 0u);
   // Both callers got the same kernel from a single computation.
   EXPECT_EQ(first.get(), second.get());
@@ -175,12 +177,12 @@ TEST(Scheduler, DuplicateSubmissionsCoalesceToOneComputation) {
 
 TEST(Scheduler, FullQueueRejectsWithRetryHint) {
   ComparisonEngine engine(drain_mode(/*max_queue=*/2));
-  auto f0 = engine.kernel_async(testing::random_string(16, 4, 1),
+  auto f0 = engine.entry_async(testing::random_string(16, 4, 1),
                                 testing::random_string(16, 4, 2));
-  auto f1 = engine.kernel_async(testing::random_string(16, 4, 3),
+  auto f1 = engine.entry_async(testing::random_string(16, 4, 3),
                                 testing::random_string(16, 4, 4));
   try {
-    (void)engine.kernel_async(testing::random_string(16, 4, 5),
+    (void)engine.entry_async(testing::random_string(16, 4, 5),
                               testing::random_string(16, 4, 6));
     FAIL() << "third submission should have been rejected";
   } catch (const EngineOverloaded& e) {
@@ -189,7 +191,7 @@ TEST(Scheduler, FullQueueRejectsWithRetryHint) {
   EXPECT_EQ(engine.stats().scheduler.rejected, 1u);
   // Draining frees the queue; the rejected pair now goes through.
   engine.drain();
-  auto f2 = engine.kernel_async(testing::random_string(16, 4, 5),
+  auto f2 = engine.entry_async(testing::random_string(16, 4, 5),
                                 testing::random_string(16, 4, 6));
   engine.drain();
   EXPECT_NE(f2.get(), nullptr);
@@ -199,7 +201,7 @@ TEST(Scheduler, FullQueueRejectsWithRetryHint) {
 TEST(Scheduler, BatchesGroupQueuedMisses) {
   ComparisonEngine engine(drain_mode(/*max_queue=*/256, /*max_batch=*/4));
   for (std::uint64_t s = 0; s < 8; ++s) {
-    (void)engine.kernel_async(testing::random_string(24, 4, 100 + s * 2),
+    (void)engine.entry_async(testing::random_string(24, 4, 100 + s * 2),
                               testing::random_string(24, 4, 101 + s * 2));
   }
   engine.drain();
@@ -253,6 +255,36 @@ TEST(Protocol, RequestRoundTrips) {
   EXPECT_EQ(decoded.y, request.y);
   EXPECT_EQ(decoded.a, request.a);
   EXPECT_EQ(decoded.b, request.b);
+}
+
+TEST(Protocol, BatchQueryRoundTrips) {
+  Request request;
+  request.op = Op::kBatchQuery;
+  request.a = testing::random_string(30, 4, 3);
+  request.b = testing::random_string(35, 4, 4);
+  request.windows = {{QueryKind::kLcs, 0, 0},
+                     {QueryKind::kStringSubstring, 5, 20},
+                     {QueryKind::kSubstringString, 2, 28}};
+  const Request decoded = decode_request(encode_request(request));
+  EXPECT_EQ(decoded.op, Op::kBatchQuery);
+  ASSERT_EQ(decoded.windows.size(), request.windows.size());
+  for (std::size_t i = 0; i < request.windows.size(); ++i) {
+    EXPECT_EQ(decoded.windows[i].kind, request.windows[i].kind) << i;
+    EXPECT_EQ(decoded.windows[i].x, request.windows[i].x) << i;
+    EXPECT_EQ(decoded.windows[i].y, request.windows[i].y) << i;
+  }
+
+  Response response;
+  response.values = {17, -1, 9};
+  const Response round = decode_response(encode_response(response));
+  EXPECT_EQ(round.values, response.values);
+
+  // Unknown window kind byte is rejected.
+  std::string bad = encode_request(request);
+  // kind byte of window 0 sits right after op + 2*i64 + 2*u32 + |a| + |b| + u32.
+  const std::size_t kind_at = 1 + 16 + 8 + request.a.size() + request.b.size() + 4;
+  bad[kind_at] = 99;
+  EXPECT_THROW((void)decode_request(bad), ProtocolError);
 }
 
 TEST(Protocol, ResponseRoundTrips) {
@@ -345,6 +377,11 @@ TEST(EngineEndToEnd, RepeatedPairsAreNeverRecomputed) {
   EXPECT_EQ(stats.store.disk_writes, kDistinctPairs);
   // Both the compute path and the cache fast path record a latency sample.
   EXPECT_EQ(stats.latency.count, stats.requests);
+  // Every query went through the index; the scan fallback never fired, and
+  // each distinct pair's index was built exactly once (by the worker).
+  EXPECT_EQ(stats.queries.indexed, stats.requests);
+  EXPECT_EQ(stats.queries.scanned, 0u);
+  EXPECT_EQ(stats.queries.index_builds, kDistinctPairs);
 
   // Warm restart over the same store directory: zero recompute, all disk.
   ComparisonEngine warm(options);

@@ -9,6 +9,12 @@
 //
 //   semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]
 //                     [--threads T] [--substring-frac F] [--zipf] [--seed S]
+//                     [--queries-per-pair Q]
+//
+// --queries-per-pair Q > 1 switches each request to the batched kBatchQuery
+// op: one frame carries Q windows (mixed LCS / string-substring /
+// substring-string) over one pair, the window-sweep regime that the shared
+// QueryIndex accelerates.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -32,7 +38,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]\n"
-               "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n";
+               "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n"
+               "                         [--queries-per-pair Q]\n";
   return 2;
 }
 
@@ -66,7 +73,25 @@ struct Workload {
   std::vector<std::pair<Sequence, Sequence>> pool;
   double substring_frac = 0.0;
   bool zipf = false;
+  Index queries_per_pair = 1;  // > 1 => batched kBatchQuery frames
 };
+
+WindowQuery pick_window(const Workload& workload, Index m, Index n, Rng& rng) {
+  WindowQuery w;
+  if (rng.uniform01() >= workload.substring_frac) return w;  // kLcs
+  if (rng.uniform(0, 1) == 0) {
+    w.kind = QueryKind::kStringSubstring;
+    const Index j0 = rng.uniform(0, n / 2);
+    w.x = j0;
+    w.y = rng.uniform(j0, n);
+  } else {
+    w.kind = QueryKind::kSubstringString;
+    const Index i0 = rng.uniform(0, m / 2);
+    w.x = i0;
+    w.y = rng.uniform(i0, m);
+  }
+  return w;
+}
 
 Request pick_request(const Workload& workload, Rng& rng) {
   const auto pool_size = static_cast<std::int64_t>(workload.pool.size());
@@ -79,15 +104,30 @@ Request pick_request(const Workload& workload, Rng& rng) {
   Request request;
   request.a = a;
   request.b = b;
-  if (rng.uniform01() < workload.substring_frac) {
-    request.op = Op::kStringSubstring;
-    const auto n = static_cast<Index>(b.size());
-    const Index j0 = rng.uniform(0, n / 2);
-    request.x = j0;
-    request.y = rng.uniform(j0, n);
-  } else {
-    request.op = Op::kLcs;
+  const auto m = static_cast<Index>(a.size());
+  const auto n = static_cast<Index>(b.size());
+  if (workload.queries_per_pair > 1) {
+    request.op = Op::kBatchQuery;
+    request.windows.reserve(static_cast<std::size_t>(workload.queries_per_pair));
+    for (Index q = 0; q < workload.queries_per_pair; ++q) {
+      request.windows.push_back(pick_window(workload, m, n, rng));
+    }
+    return request;
   }
+  const WindowQuery w = pick_window(workload, m, n, rng);
+  switch (w.kind) {
+    case QueryKind::kLcs:
+      request.op = Op::kLcs;
+      break;
+    case QueryKind::kStringSubstring:
+      request.op = Op::kStringSubstring;
+      break;
+    case QueryKind::kSubstringString:
+      request.op = Op::kSubstringString;
+      break;
+  }
+  request.x = w.x;
+  request.y = w.y;
   return request;
 }
 
@@ -154,6 +194,11 @@ int main(int argc, char** argv) {
     Workload workload;
     workload.substring_frac = args.double_option_or("substring-frac", 0.25);
     workload.zipf = args.has_flag("zipf");
+    workload.queries_per_pair = args.int_option_or("queries-per-pair", 1);
+    if (workload.queries_per_pair < 1 ||
+        static_cast<std::size_t>(workload.queries_per_pair) > kMaxBatchWindows) {
+      throw std::invalid_argument("--queries-per-pair out of range");
+    }
     Rng rng(seed);
     for (Index p = 0; p < pairs; ++p) {
       workload.pool.emplace_back(random_dna(length, rng), random_dna(length, rng));
@@ -185,7 +230,14 @@ int main(int argc, char** argv) {
     std::cout << "requests: " << total << " ok: " << merged.ok
               << " errors: " << merged.errors << " retries: " << merged.retries << "\n";
     std::cout << "elapsed: " << elapsed << " s  throughput: "
-              << static_cast<double>(total) / elapsed << " req/s\n";
+              << static_cast<double>(total) / elapsed << " req/s";
+    if (workload.queries_per_pair > 1) {
+      std::cout << "  ("
+                << static_cast<double>(total) *
+                       static_cast<double>(workload.queries_per_pair) / elapsed
+                << " queries/s, " << workload.queries_per_pair << " per frame)";
+    }
+    std::cout << "\n";
     std::cout << "latency ms  p50: " << percentile(merged.latencies_ms, 0.50)
               << "  p90: " << percentile(merged.latencies_ms, 0.90)
               << "  p99: " << percentile(merged.latencies_ms, 0.99) << "  max: "

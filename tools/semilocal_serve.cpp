@@ -20,6 +20,8 @@
 //   --batch N        misses grouped per compute batch (default 8)
 //   --algorithm X    combing strategy (see semilocal_cli)
 //   --no-persist     do not write computed kernels to the store
+//   --no-index       answer queries via the O(m+n) scan instead of the
+//                    shared QueryIndex (ablation / debugging)
 //   --dna            pack request bytes as DNA (match CLI precompute keys)
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -44,7 +46,8 @@ namespace {
 int usage() {
   std::cerr << "usage: semilocal_serve (--stdio | --port P) [--store DIR] [--cache-mb N]\n"
                "                       [--workers N] [--queue N] [--batch N]\n"
-               "                       [--algorithm NAME] [--no-persist] [--dna]\n";
+               "                       [--algorithm NAME] [--no-persist] [--no-index]\n"
+               "                       [--dna]\n";
   return 2;
 }
 
@@ -81,6 +84,9 @@ std::string stats_json(const EngineStats& s) {
   field("batches", s.scheduler.batches);
   field("queue_depth", s.scheduler.queue_depth);
   field("cache_hit_rate", s.cache_hit_rate());
+  field("queries_indexed", s.queries.indexed);
+  field("queries_scanned", s.queries.scanned);
+  field("index_builds", s.queries.index_builds);
   field("latency_count", s.latency.count);
   field("p50_ms", s.latency.p50_ms);
   field("p90_ms", s.latency.p90_ms);
@@ -98,6 +104,19 @@ Sequence ingest(const ServeConfig& config, Sequence raw) {
   return config.dna ? pack_dna(raw) : std::move(raw);
 }
 
+QueryKind kind_of(Op op) {
+  switch (op) {
+    case Op::kLcs:
+      return QueryKind::kLcs;
+    case Op::kStringSubstring:
+      return QueryKind::kStringSubstring;
+    case Op::kSubstringString:
+      return QueryKind::kSubstringString;
+    default:
+      throw std::invalid_argument("op carries no query kind");
+  }
+}
+
 Response handle(ComparisonEngine& engine, const ServeConfig& config,
                 const Request& request) {
   Response response;
@@ -107,18 +126,19 @@ Response handle(ComparisonEngine& engine, const ServeConfig& config,
         break;
       case Op::kLcs:
       case Op::kStringSubstring:
-      case Op::kSubstringString: {
+      case Op::kSubstringString:
+      case Op::kBatchQuery: {
         const Sequence a = ingest(config, request.a);
         const Sequence b = ingest(config, request.b);
-        auto future = engine.kernel_async(a, b);
+        auto future = engine.entry_async(a, b);
         if (config.inline_compute) engine.drain();
-        const KernelPtr kernel = future.get();
-        if (request.op == Op::kLcs) {
-          response.value = kernel_lcs(*kernel);
-        } else if (request.op == Op::kStringSubstring) {
-          response.value = kernel_string_substring(*kernel, request.x, request.y);
+        const CachedKernelPtr entry = future.get();
+        if (request.op == Op::kBatchQuery) {
+          response.values = engine.answer_batch(*entry, request.windows);
+          response.value = static_cast<Index>(response.values.size());
         } else {
-          response.value = kernel_substring_string(*kernel, request.x, request.y);
+          response.value =
+              engine.answer(*entry, kind_of(request.op), request.x, request.y);
         }
         break;
       }
@@ -147,8 +167,10 @@ void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::ist
     } catch (const ProtocolError& e) {
       // The stream is unframed from here on; report and hang up.
       try {
-        write_frame(out, encode_response(
-                             {.status = Status::kError, .text = e.what()}));
+        Response unframed;
+        unframed.status = Status::kError;
+        unframed.text = e.what();
+        write_frame(out, encode_response(unframed));
       } catch (...) {
       }
       return;
@@ -158,7 +180,9 @@ void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::ist
     try {
       response = handle(engine, config, decode_request(*payload));
     } catch (const ProtocolError& e) {
-      response = {.status = Status::kError, .text = e.what()};
+      response = Response{};
+      response.status = Status::kError;
+      response.text = e.what();
     }
     write_frame(out, encode_response(response));
   }
@@ -209,7 +233,7 @@ int serve_tcp(ComparisonEngine& engine, const ServeConfig& config, int port) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, 1, {"stdio", "no-persist", "dna"});
+        CliArgs::parse(argc, argv, 1, {"stdio", "no-persist", "no-index", "dna"});
     const bool stdio = args.has_flag("stdio");
     const auto port = args.option("port");
     if (stdio == port.has_value()) return usage();  // exactly one mode
@@ -226,6 +250,8 @@ int main(int argc, char** argv) {
     options.scheduler.max_batch = static_cast<std::size_t>(args.int_option_or("batch", 8));
     options.scheduler.compute.strategy =
         parse_strategy(args.option_or("algorithm", "antidiag"));
+    options.index_queries = !args.has_flag("no-index");
+    options.scheduler.build_index = options.index_queries;
 
     ServeConfig config;
     config.dna = args.has_flag("dna");
