@@ -11,7 +11,12 @@
 # many threads share one cached kernel and its once-built index, exactly the
 # code where a missing happens-before survives unnoticed on x86.
 #
-# Usage: scripts/check.sh [-j N]
+# With CHECK_FAULTS=1, an extra leg runs the fault-injection scenario runner
+# (tests/test_faults) over FAULT_SEEDS extra random schedules beyond the
+# suite's built-in 200, starting at FAULT_SEED_BASE (default: derived from
+# the current time, printed so any failure can be replayed exactly).
+#
+# Usage: [CHECK_FAULTS=1] [FAULT_SEEDS=64] [FAULT_SEED_BASE=...] scripts/check.sh [-j N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,5 +36,15 @@ for preset in release asan tsan; do
   echo "==> ctest ($preset)"
   ctest --preset "$preset" -j "$jobs"
 done
+
+if [[ "${CHECK_FAULTS:-0}" == "1" ]]; then
+  seeds=${FAULT_SEEDS:-64}
+  base=${FAULT_SEED_BASE:-$(( $(date +%s) % 1000000 + 1000 ))}
+  echo "==> fault schedules ($seeds extra seeds from base $base)"
+  echo "    replay: SEMILOCAL_FAULT_SEED_BASE=$base SEMILOCAL_FAULT_SEEDS=$seeds" \
+       "build/release/tests/test_faults --gtest_filter='FaultSchedules.*'"
+  SEMILOCAL_FAULT_SEED_BASE="$base" SEMILOCAL_FAULT_SEEDS="$seeds" \
+    build/release/tests/test_faults --gtest_filter='FaultSchedules.*'
+fi
 
 echo "All checks passed."

@@ -6,6 +6,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace semilocal {
@@ -114,6 +115,17 @@ void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel) {
 SemiLocalKernel load_kernel_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_kernel_file: cannot open " + path);
+  return load_kernel(in);
+}
+
+std::string save_kernel_bytes(const SemiLocalKernel& kernel) {
+  std::ostringstream out(std::ios::binary);
+  save_kernel(out, kernel);
+  return std::move(out).str();
+}
+
+SemiLocalKernel load_kernel_bytes(std::string_view bytes) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
   return load_kernel(in);
 }
 

@@ -26,4 +26,9 @@ SemiLocalKernel load_kernel(std::istream& in);
 void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel);
 SemiLocalKernel load_kernel_file(const std::string& path);
 
+/// In-memory wrappers: the kernel store serializes to/from byte strings so
+/// all its actual I/O goes through the engine's Env seam (engine/env.hpp).
+std::string save_kernel_bytes(const SemiLocalKernel& kernel);
+SemiLocalKernel load_kernel_bytes(std::string_view bytes);
+
 }  // namespace semilocal

@@ -48,26 +48,45 @@ CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
                     std::make_shared<const SemiLocalKernel>(std::move(kernels[k]))));
       ++report.computed;
     }
+    // Give pairs that hit a transient write fault another chance in-run.
+    store.retry_pending();
+  }
+  store.retry_pending();
+  // Whatever this run computed but could not land on disk is its durability
+  // loss; surface it instead of pretending the corpus is fully persisted.
+  if (store.persists()) {
+    for (const SequencePair& pair : pairs) {
+      if (!store.on_disk(make_pair_key(pair.a, pair.b))) ++report.persist_failures;
+    }
   }
   return report;
 }
 
 void write_corpus_index(const std::string& path,
-                        const std::vector<CorpusIndexEntry>& entries) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_corpus_index: cannot open " + path);
-  out << "#id_a\tid_b\tm\tn\tkey\n";
+                        const std::vector<CorpusIndexEntry>& entries, Env* env) {
+  if (env == nullptr) env = &real_env();
+  std::string out = "#id_a\tid_b\tm\tn\tkey\n";
   for (const CorpusIndexEntry& e : entries) {
-    out << e.id_a << '\t' << e.id_b << '\t' << e.m << '\t' << e.n << '\t' << e.key_hex
-        << '\n';
+    out += e.id_a + '\t' + e.id_b + '\t' + std::to_string(e.m) + '\t' +
+           std::to_string(e.n) + '\t' + e.key_hex + '\n';
   }
-  if (!out) throw std::runtime_error("write_corpus_index: write failed");
+  try {
+    env->write_file(path, out);
+  } catch (const EnvError& e) {
+    throw std::runtime_error(std::string("write_corpus_index: ") + e.what());
+  }
 }
 
-std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_corpus_index: cannot open " + path);
+std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path, Env* env) {
+  if (env == nullptr) env = &real_env();
+  std::string data;
+  try {
+    data = env->read_file(path);
+  } catch (const EnvError& e) {
+    throw std::runtime_error(std::string("read_corpus_index: ") + e.what());
+  }
   std::vector<CorpusIndexEntry> out;
+  std::istringstream in(data);
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;

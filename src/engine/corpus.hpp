@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "engine/env.hpp"
 #include "engine/kernel_store.hpp"
 #include "util/fasta.hpp"
 
@@ -31,19 +32,28 @@ struct CorpusBuildReport {
   std::vector<CorpusIndexEntry> entries;  ///< one per record pair (i < j)
   std::size_t computed = 0;               ///< kernels computed this run
   std::size_t reused = 0;                 ///< pairs already on disk (skipped)
+  /// Kernels computed but not persisted (store write failures during this
+  /// run; they still served from the cache and a re-run recomputes them).
+  std::size_t persist_failures = 0;
 };
 
 /// Computes and persists the kernels of all record pairs (i < j). Pairs whose
 /// kernel file already exists are skipped, so interrupted runs resume. With
 /// `parallel`, pairs are computed through the batched API (pairs are the
-/// parallel unit; see core/api.hpp).
+/// parallel unit; see core/api.hpp). Store write failures never abort the
+/// run: they degrade to `persist_failures` in the report (after one retry
+/// pass at the end), matching the serving path's degradation policy.
 CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
                                     KernelStore& store, const SemiLocalOptions& opts,
                                     bool parallel);
 
-/// Writes / reads the tab-separated index (id_a, id_b, m, n, key).
+/// Writes / reads the tab-separated index (id_a, id_b, m, n, key). All I/O
+/// goes through `env` (nullptr = real_env()), so fault-injection runs cover
+/// the index file exactly like the kernel files.
 void write_corpus_index(const std::string& path,
-                        const std::vector<CorpusIndexEntry>& entries);
-std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path);
+                        const std::vector<CorpusIndexEntry>& entries,
+                        Env* env = nullptr);
+std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path,
+                                                Env* env = nullptr);
 
 }  // namespace semilocal

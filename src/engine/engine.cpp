@@ -9,20 +9,31 @@ std::shared_future<CachedKernelPtr> ready_future(CachedKernelPtr entry) {
   return promise.get_future().share();
 }
 
+/// The engine-level env (if any) flows into each component that has not
+/// been given its own.
+EngineOptions with_env(EngineOptions options) {
+  if (options.env != nullptr) {
+    if (options.store.env == nullptr) options.store.env = options.env;
+    if (options.scheduler.env == nullptr) options.scheduler.env = options.env;
+  }
+  return options;
+}
+
 }  // namespace
 
 ComparisonEngine::ComparisonEngine(EngineOptions options)
-    : options_(options),
-      store_(options.store),
-      scheduler_(store_, options.scheduler, &latency_, &counters_) {}
+    : options_(with_env(std::move(options))),
+      env_(options_.env ? options_.env : &real_env()),
+      store_(options_.store),
+      scheduler_(store_, options_.scheduler, &latency_, &counters_) {}
 
 std::shared_future<CachedKernelPtr> ComparisonEngine::entry_async(SequenceView a,
                                                                   SequenceView b) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   const PairKey key = make_pair_key(a, b);
-  Timer lookup;
+  const std::uint64_t lookup_ns = env_->now_ns();
   if (CachedKernelPtr hit = store_.find(key)) {
-    latency_.record(lookup.milliseconds());
+    latency_.record(static_cast<double>(env_->now_ns() - lookup_ns) / 1e6);
     return ready_future(std::move(hit));
   }
   return scheduler_.submit(key, Sequence(a.begin(), a.end()), Sequence(b.begin(), b.end()));
@@ -67,6 +78,46 @@ std::vector<Index> ComparisonEngine::answer_batch(
   answer_query_batch(held, windows.data(), values.data(), windows.size(),
                      options_.index_queries, &counters_);
   return values;
+}
+
+std::string stats_json(const EngineStats& s) {
+  std::string out = "{";
+  const auto field = [&out](const char* name, auto value, bool last = false) {
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+    if (!last) out += ", ";
+  };
+  field("requests", s.requests);
+  field("cache_hits", s.store.cache.hits);
+  field("cache_misses", s.store.cache.misses);
+  field("cache_evictions", s.store.cache.evictions);
+  field("cache_entries", s.store.cache.entries);
+  field("cache_bytes", s.store.cache.bytes);
+  field("disk_hits", s.store.disk_hits);
+  field("disk_errors", s.store.disk_errors);
+  field("disk_writes", s.store.disk_writes);
+  field("store_write_failures", s.store.write_failures);
+  field("store_quarantined", s.store.quarantined);
+  field("store_tmp_swept", s.store.tmp_swept);
+  field("store_pending_persists", s.store.pending_persists);
+  field("degraded_mode", s.store.degraded() ? 1 : 0);
+  field("computed", s.scheduler.computed);
+  field("coalesced", s.scheduler.coalesced);
+  field("rejected", s.scheduler.rejected);
+  field("batches", s.scheduler.batches);
+  field("queue_depth", s.scheduler.queue_depth);
+  field("cache_hit_rate", s.cache_hit_rate());
+  field("queries_indexed", s.queries.indexed);
+  field("queries_scanned", s.queries.scanned);
+  field("index_builds", s.queries.index_builds);
+  field("latency_count", s.latency.count);
+  field("p50_ms", s.latency.p50_ms);
+  field("p90_ms", s.latency.p90_ms);
+  field("p99_ms", s.latency.p99_ms, /*last=*/true);
+  out += "}";
+  return out;
 }
 
 EngineStats ComparisonEngine::stats() const {

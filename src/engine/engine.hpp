@@ -42,6 +42,10 @@ struct EngineOptions {
   /// Route queries through each entry's QueryIndex (O(log n), built once).
   /// false = always use the O(m + n) dominance scan.
   bool index_queries = true;
+  /// Filesystem + clock the whole engine runs on (store I/O, scheduler and
+  /// lookup latency clocks). nullptr = real_env(). A non-null store.env /
+  /// scheduler.env takes precedence for that component.
+  Env* env = nullptr;
 };
 
 struct EngineStats {
@@ -58,6 +62,13 @@ struct EngineStats {
                : static_cast<double>(store.cache.hits) / static_cast<double>(requests);
   }
 };
+
+/// The stats endpoint's JSON rendering (one flat object; used by
+/// semilocal_serve's kStats op and pinned by the fault-injection tests).
+/// Includes the degradation counters: store_write_failures,
+/// store_quarantined, store_pending_persists, and degraded_mode (1 while
+/// any entry is cache-only awaiting a persist retry).
+std::string stats_json(const EngineStats& stats);
 
 class ComparisonEngine {
  public:
@@ -104,6 +115,7 @@ class ComparisonEngine {
 
  private:
   EngineOptions options_;
+  Env* env_;
   KernelStore store_;
   LatencyRecorder latency_;
   QueryCounters counters_;

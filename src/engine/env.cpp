@@ -1,0 +1,225 @@
+#include "engine/env.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace semilocal {
+
+namespace fs = std::filesystem;
+
+const char* env_op_name(EnvOp op) {
+  switch (op) {
+    case EnvOp::kRead:
+      return "read";
+    case EnvOp::kWrite:
+      return "write";
+    case EnvOp::kRename:
+      return "rename";
+    case EnvOp::kRemove:
+      return "remove";
+    case EnvOp::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+class RealEnv final : public Env {
+ public:
+  std::string read_file(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw EnvError("read_file: cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad()) throw EnvError("read_file: read failed on " + path);
+    return data;
+  }
+
+  void write_file(const std::string& path, std::string_view data) override {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw EnvError("write_file: cannot open " + path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) throw EnvError("write_file: write failed on " + path);
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      throw EnvError("rename_file: " + from + " -> " + to + ": " + ec.message());
+    }
+  }
+
+  void remove_file(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);  // removing a missing file reports success
+    if (ec) throw EnvError("remove_file: " + path + ": " + ec.message());
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) return names;
+      throw EnvError("list_dir: " + dir + ": " + ec.message());
+    }
+    for (const auto& entry : it) names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());  // directory order is fs-dependent
+    return names;
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  bool create_dirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    return !ec;
+  }
+
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+Env& real_env() {
+  static RealEnv env;
+  return env;
+}
+
+FaultyEnv::FaultyEnv(FaultPlan plan, Env* base)
+    : plan_(std::move(plan)),
+      base_(base ? base : &real_env()),
+      rng_(plan_.seed),
+      states_(plan_.rules.size()) {}
+
+FaultyEnv::Fired FaultyEnv::arbitrate(EnvOp op, const std::string& path) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = op_seq_++;
+  for (std::size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.op != op) continue;
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t match = states_[r].matched++;
+    if (match < rule.skip) continue;
+    if (match - rule.skip >= rule.count) continue;
+    // Armed. Probability draws come from the plan RNG in call order, so the
+    // decision stream is a pure function of (seed, call sequence).
+    if (rule.probability < 1.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >= rule.probability) {
+      continue;
+    }
+    Fired fired;
+    fired.fired = true;
+    fired.short_write = op == EnvOp::kWrite ? rule.short_write_bytes : 0;
+    fired.message = "FaultyEnv: " + rule.message + " (" + std::string(env_op_name(op)) +
+                    " " + basename_of(path) + ")";
+    std::string detail = rule.message;
+    if (fired.short_write > 0) {
+      detail += " short_write=" + std::to_string(fired.short_write);
+    }
+    events_.push_back(FaultEvent{.op_seq = seq,
+                                 .rule = r,
+                                 .op = op,
+                                 .path_base = basename_of(path),
+                                 .detail = std::move(detail)});
+    return fired;
+  }
+  return Fired{};
+}
+
+std::string FaultyEnv::read_file(const std::string& path) {
+  const Fired fired = arbitrate(EnvOp::kRead, path);
+  if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
+  return base_->read_file(path);
+}
+
+void FaultyEnv::write_file(const std::string& path, std::string_view data) {
+  const Fired fired = arbitrate(EnvOp::kWrite, path);
+  if (fired.fired) {
+    // A short write tears the file first -- the partial really lands on the
+    // base env, exactly like ENOSPC after short_write bytes.
+    if (fired.short_write > 0 && fired.short_write < data.size()) {
+      try {
+        base_->write_file(path, data.substr(0, fired.short_write));
+      } catch (const EnvError&) {
+        // The injected fault is the one being reported.
+      }
+    }
+    throw EnvError(fired.message, /*injected=*/true);
+  }
+  base_->write_file(path, data);
+}
+
+void FaultyEnv::rename_file(const std::string& from, const std::string& to) {
+  const Fired fired = arbitrate(EnvOp::kRename, from);
+  if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
+  base_->rename_file(from, to);
+}
+
+void FaultyEnv::remove_file(const std::string& path) {
+  const Fired fired = arbitrate(EnvOp::kRemove, path);
+  if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
+  base_->remove_file(path);
+}
+
+std::vector<std::string> FaultyEnv::list_dir(const std::string& dir) {
+  const Fired fired = arbitrate(EnvOp::kList, dir);
+  if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
+  return base_->list_dir(dir);
+}
+
+bool FaultyEnv::exists(const std::string& path) { return base_->exists(path); }
+
+bool FaultyEnv::create_dirs(const std::string& dir) { return base_->create_dirs(dir); }
+
+std::uint64_t FaultyEnv::now_ns() {
+  std::lock_guard lock(mutex_);
+  fake_clock_ns_ += plan_.clock_step_ns;
+  return fake_clock_ns_;
+}
+
+std::vector<FaultEvent> FaultyEnv::trace() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::string FaultyEnv::trace_text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += '#' + std::to_string(e.op_seq) + " rule" + std::to_string(e.rule) + ' ' +
+           env_op_name(e.op) + ' ' + e.path_base + ": " + e.detail + '\n';
+  }
+  return out;
+}
+
+std::uint64_t FaultyEnv::faults_injected() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+}  // namespace semilocal

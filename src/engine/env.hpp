@@ -1,0 +1,191 @@
+// Deterministic fault-injection seam between the engine and the OS.
+//
+// Everything the engine asks of the outside world -- filesystem ops and a
+// monotonic clock -- goes through the Env interface. Production code runs on
+// RealEnv (a thin passthrough); tests run on FaultyEnv, which wraps any base
+// Env and injects failures according to a scripted, seeded FaultPlan:
+//
+//   * scripted triggers -- "fail the 3rd rename", "fail every write whose
+//     path contains .tmp", "short-write 17 bytes then fail" -- expressed as
+//     (op, path substring, skip, count) windows;
+//   * seeded-probability mode -- each in-window call fails with probability
+//     p, drawn from the plan's RNG in call order, so a single-threaded run
+//     is bit-reproducible from the seed alone;
+//   * a replayable trace -- every injected fault is logged (op-sequence
+//     number, rule, op, path basename, detail) and rendered as text, so two
+//     runs of the same scenario can be compared byte-for-byte.
+//
+// File ops are whole-file on purpose: write_file collapses open + write +
+// fsync + close into one call whose failure modes (including the short write
+// that leaves a torn partial file behind) are exactly the ones the store's
+// temp-file + rename discipline must survive. Injectable ops are read /
+// write / rename / remove / list; exists() and create_dirs() are deliberately
+// non-throwing so constructors and cheap probes stay total under any plan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semilocal {
+
+/// Failure of an Env operation. `injected()` is true for FaultyEnv faults,
+/// false for real filesystem errors -- callers treat both identically (that
+/// equivalence is the point of the testkit), logs keep them apart.
+class EnvError : public std::runtime_error {
+ public:
+  explicit EnvError(const std::string& what, bool injected = false)
+      : std::runtime_error(what), injected_(injected) {}
+
+  [[nodiscard]] bool injected() const { return injected_; }
+
+ private:
+  bool injected_;
+};
+
+/// The injectable operation classes a FaultRule can target.
+enum class EnvOp : std::uint8_t {
+  kRead = 0,    ///< read_file
+  kWrite = 1,   ///< write_file (short-write faults live here)
+  kRename = 2,  ///< rename_file
+  kRemove = 3,  ///< remove_file
+  kList = 4,    ///< list_dir
+};
+
+/// Stable lowercase name ("read", "write", ...) used in traces.
+const char* env_op_name(EnvOp op);
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Whole-file read. Throws EnvError if the file is missing or unreadable.
+  virtual std::string read_file(const std::string& path) = 0;
+
+  /// Whole-file create-or-overwrite, flushed to the OS before returning
+  /// (open + write + fsync + close as one op). Throws EnvError on failure;
+  /// a failed write may leave a partial file behind, exactly like ENOSPC
+  /// mid-write on a real filesystem.
+  virtual void write_file(const std::string& path, std::string_view data) = 0;
+
+  /// Atomic-within-directory rename. Throws EnvError on failure.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+
+  /// Removes a file; removing a missing file is a no-op, other failures
+  /// throw EnvError.
+  virtual void remove_file(const std::string& path) = 0;
+
+  /// Filenames (not full paths) in `dir`, sorted for determinism; empty if
+  /// the directory does not exist. Throws EnvError on read failure.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+
+  /// True iff `path` exists. Never throws (not an injectable fault point).
+  virtual bool exists(const std::string& path) = 0;
+
+  /// Creates a directory tree, existing is fine. Never throws; returns
+  /// false on failure (the caller's subsequent writes will fail and be
+  /// handled by the degradation path).
+  virtual bool create_dirs(const std::string& dir) = 0;
+
+  /// Monotonic clock in nanoseconds (steady_clock for RealEnv, a
+  /// deterministic synthetic clock for FaultyEnv).
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// The process-wide passthrough Env over the real filesystem and clock.
+Env& real_env();
+
+/// One scripted failure trigger. A rule matches calls of its op class whose
+/// path contains `path_substring`; it lets the first `skip` matches through,
+/// then arms for the next `count` matches, failing each armed call with
+/// `probability` (decided by the plan's seeded RNG, in call order).
+struct FaultRule {
+  EnvOp op = EnvOp::kWrite;
+  /// Substring filter on the full path; empty matches every path.
+  std::string path_substring;
+  /// Matching calls let through before the failure window opens.
+  std::uint64_t skip = 0;
+  /// Width of the failure window ("fail the Nth" = skip N-1, count 1;
+  /// "every write from now on" = the default unbounded count).
+  std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+  /// Chance an armed call actually fails; 1.0 = deterministic trigger.
+  double probability = 1.0;
+  /// kWrite only: bytes actually written before the injected failure.
+  /// 0 = fail before writing anything; a value in (0, size) leaves a torn
+  /// partial file, like a short write whose return value went unchecked.
+  std::size_t short_write_bytes = 0;
+  /// Carried into the EnvError message and the trace.
+  std::string message = "injected fault";
+};
+
+struct FaultPlan {
+  /// Seeds the probability draws (and nothing else); two FaultyEnvs built
+  /// from equal plans behave identically on identical call sequences.
+  std::uint64_t seed = 0;
+  /// Synthetic-clock step per now_ns() call.
+  std::uint64_t clock_step_ns = 1'000'000;
+  std::vector<FaultRule> rules;
+};
+
+/// One injected fault, in op-call order.
+struct FaultEvent {
+  std::uint64_t op_seq = 0;    ///< index of the env call (all ops counted)
+  std::size_t rule = 0;        ///< index into FaultPlan::rules
+  EnvOp op = EnvOp::kWrite;
+  std::string path_base;       ///< path basename (run-independent)
+  std::string detail;
+};
+
+/// A seeded fault-injecting Env decorating a base Env (default: real_env()).
+/// Thread-safe; single-threaded call sequences are fully deterministic.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(FaultPlan plan, Env* base = nullptr);
+
+  std::string read_file(const std::string& path) override;
+  void write_file(const std::string& path, std::string_view data) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  bool exists(const std::string& path) override;
+  bool create_dirs(const std::string& dir) override;
+  std::uint64_t now_ns() override;
+
+  [[nodiscard]] std::vector<FaultEvent> trace() const;
+  /// The trace as text, one `#<op_seq> rule<i> <op> <basename>: <detail>`
+  /// line per injected fault -- the byte-for-byte replay artifact.
+  [[nodiscard]] std::string trace_text() const;
+  [[nodiscard]] std::uint64_t faults_injected() const;
+
+ private:
+  struct RuleState {
+    std::uint64_t matched = 0;  ///< matching calls seen so far
+  };
+  struct Fired {
+    bool fired = false;
+    std::size_t short_write = 0;  ///< kWrite: partial bytes to tear first
+    std::string message;
+  };
+
+  /// Consumes one env call of class `op` on `path`: advances every matching
+  /// rule and, if one fires, logs the event and returns its verdict. The
+  /// caller raises the EnvError (after tearing the file, for short writes).
+  Fired arbitrate(EnvOp op, const std::string& path);
+
+  FaultPlan plan_;
+  Env* base_;
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;
+  std::vector<RuleState> states_;
+  std::vector<FaultEvent> events_;
+  std::uint64_t op_seq_ = 0;
+  std::uint64_t fake_clock_ns_ = 0;
+};
+
+}  // namespace semilocal

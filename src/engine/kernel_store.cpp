@@ -1,21 +1,69 @@
 #include "engine/kernel_store.hpp"
 
-#include <atomic>
-#include <filesystem>
+#include <utility>
+#include <vector>
 
 #include "core/serialize.hpp"
 
 namespace semilocal {
 
-namespace fs = std::filesystem;
-
 KernelStore::KernelStore(KernelStoreOptions options)
-    : options_(std::move(options)), cache_(options_.cache_bytes) {
-  if (!options_.dir.empty()) fs::create_directories(options_.dir);
+    : options_(std::move(options)),
+      env_(options_.env ? options_.env : &real_env()),
+      cache_(options_.cache_bytes) {
+  if (options_.dir.empty()) return;
+  env_->create_dirs(options_.dir);  // failure degrades to write failures later
+  sweep_orphan_tmps();
 }
 
 std::string KernelStore::path_for(const PairKey& key) const {
-  return (fs::path(options_.dir) / (key.hex() + ".slk")).string();
+  return options_.dir + "/" + key.hex() + ".slk";
+}
+
+void KernelStore::sweep_orphan_tmps() {
+  // A writer that died between temp write and rename leaks `<key>.slk.tmpN`.
+  // Those are invisible to readers (never renamed into place) but would
+  // accumulate forever; remove them before serving. Every failure here is
+  // ignorable -- an unswept orphan is a disk-space leak, not a correctness
+  // problem.
+  std::vector<std::string> names;
+  try {
+    names = env_->list_dir(options_.dir);
+  } catch (const EnvError&) {
+    return;
+  }
+  std::uint64_t swept = 0;
+  for (const std::string& name : names) {
+    if (name.find(".tmp") == std::string::npos) continue;
+    try {
+      env_->remove_file(options_.dir + "/" + name);
+      ++swept;
+    } catch (const EnvError&) {
+    }
+  }
+  std::lock_guard lock(mutex_);
+  tmp_swept_ += swept;
+}
+
+void KernelStore::quarantine(const std::string& path) {
+  // Keep the poison for post-mortem inspection but make sure it is never
+  // read again (and never blocks the recomputed kernel's rename). If the
+  // move itself fails, fall back to deleting; if even that fails, the next
+  // put() will simply rename a fresh kernel over it.
+  bool moved = false;
+  try {
+    env_->rename_file(path, path + ".quarantined");
+    moved = true;
+  } catch (const EnvError&) {
+    try {
+      env_->remove_file(path);
+      moved = true;
+    } catch (const EnvError&) {
+    }
+  }
+  std::lock_guard lock(mutex_);
+  ++disk_errors_;
+  if (moved) ++quarantined_;
 }
 
 CachedKernelPtr KernelStore::find(const PairKey& key) {
@@ -25,22 +73,29 @@ CachedKernelPtr KernelStore::find(const PairKey& key) {
   }
   if (options_.dir.empty()) return nullptr;
   const std::string path = path_for(key);
-  std::error_code ec;
-  if (!fs::exists(path, ec)) return nullptr;
-  KernelPtr loaded;
+  if (!env_->exists(path)) return nullptr;
+  std::string bytes;
   try {
-    loaded = std::make_shared<const SemiLocalKernel>(load_kernel_file(path));
-  } catch (const std::exception&) {
+    bytes = env_->read_file(path);
+  } catch (const EnvError&) {
+    // Transient read failure: degrade to a miss (the caller recomputes) but
+    // leave the file alone -- it may be perfectly healthy.
     std::lock_guard lock(mutex_);
     ++disk_errors_;
+    return nullptr;
+  }
+  KernelPtr loaded;
+  try {
+    loaded = std::make_shared<const SemiLocalKernel>(load_kernel_bytes(bytes));
+  } catch (const std::exception&) {
+    quarantine(path);
     return nullptr;
   }
   // Cheap sanity check that the file really is the kernel of this pair's
   // lengths; a content-hash filename collision across sizes cannot happen
   // (lengths are part of the key), so a mismatch means a foreign file.
   if (loaded->m() != key.len_a || loaded->n() != key.len_b) {
-    std::lock_guard lock(mutex_);
-    ++disk_errors_;
+    quarantine(path);
     return nullptr;
   }
   auto entry = std::make_shared<const CachedKernel>(std::move(loaded));
@@ -50,32 +105,89 @@ CachedKernelPtr KernelStore::find(const PairKey& key) {
   return entry;
 }
 
+bool KernelStore::persist_one(const PairKey& key, const CachedKernel& entry) {
+  const std::string path = path_for(key);
+  std::string tmp;
+  {
+    // Unique temp name so concurrent writers of the same key can't
+    // interleave into one file; the final rename is atomic within the
+    // directory. The serial is per-store (not process-global) so temp names
+    // -- and therefore fault traces -- are deterministic run-to-run.
+    std::lock_guard lock(mutex_);
+    tmp = path + ".tmp" + std::to_string(tmp_serial_++);
+  }
+  try {
+    env_->write_file(tmp, save_kernel_bytes(entry.kernel()));
+    env_->rename_file(tmp, path);
+  } catch (const EnvError&) {
+    try {
+      env_->remove_file(tmp);  // best-effort: a leak here is swept at restart
+    } catch (const EnvError&) {
+    }
+    return false;
+  }
+  return true;
+}
+
 void KernelStore::put(const PairKey& key, CachedKernelPtr entry) {
   if (!entry) return;
   bool write_disk = false;
   {
     std::lock_guard lock(mutex_);
     cache_.put(key, entry);
-    if (options_.persist && !options_.dir.empty()) {
-      write_disk = true;
-      ++disk_writes_;
-    }
+    write_disk = options_.persist && !options_.dir.empty();
   }
   if (!write_disk) return;
-  // Unique temp name so concurrent writers of the same key can't interleave
-  // into one file; the final rename is atomic within the directory.
-  static std::atomic<std::uint64_t> tmp_serial{0};
-  const std::string path = path_for(key);
-  const std::string tmp =
-      path + ".tmp" + std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
-  save_kernel_file(tmp, entry->kernel());
-  fs::rename(tmp, path);
+  if (persist_one(key, *entry)) {
+    std::lock_guard lock(mutex_);
+    ++disk_writes_;
+    pending_.erase(key);
+    return;
+  }
+  // Degrade: the entry keeps serving from the cache; remember it (with a
+  // retry budget) so retry_pending() can persist it once the fault clears.
+  std::lock_guard lock(mutex_);
+  ++write_failures_;
+  if (options_.persist_retries <= 0) return;
+  if (const auto it = pending_.find(key); it != pending_.end()) {
+    it->second.entry = std::move(entry);  // keep the freshest pointer
+    return;
+  }
+  if (pending_.size() >= options_.max_pending_persists) return;
+  pending_.emplace(key,
+                   PendingPersist{std::move(entry), options_.persist_retries});
+}
+
+std::size_t KernelStore::retry_pending() {
+  std::lock_guard retry_lock(retry_mutex_);
+  std::vector<std::pair<PairKey, CachedKernelPtr>> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    if (pending_.empty()) return 0;
+    snapshot.reserve(pending_.size());
+    for (const auto& [key, p] : pending_) snapshot.emplace_back(key, p.entry);
+  }
+  std::size_t persisted = 0;
+  for (const auto& [key, entry] : snapshot) {
+    if (persist_one(key, *entry)) {
+      ++persisted;
+      std::lock_guard lock(mutex_);
+      ++disk_writes_;
+      pending_.erase(key);
+    } else {
+      std::lock_guard lock(mutex_);
+      ++write_failures_;
+      if (const auto it = pending_.find(key); it != pending_.end()) {
+        if (--it->second.retries_left <= 0) pending_.erase(it);  // abandoned
+      }
+    }
+  }
+  return persisted;
 }
 
 bool KernelStore::on_disk(const PairKey& key) const {
   if (options_.dir.empty()) return false;
-  std::error_code ec;
-  return fs::exists(path_for(key), ec);
+  return env_->exists(path_for(key));
 }
 
 KernelStoreStats KernelStore::stats() const {
@@ -83,7 +195,11 @@ KernelStoreStats KernelStore::stats() const {
   return KernelStoreStats{.cache = cache_.stats(),
                           .disk_hits = disk_hits_,
                           .disk_errors = disk_errors_,
-                          .disk_writes = disk_writes_};
+                          .disk_writes = disk_writes_,
+                          .write_failures = write_failures_,
+                          .quarantined = quarantined_,
+                          .tmp_swept = tmp_swept_,
+                          .pending_persists = pending_.size()};
 }
 
 }  // namespace semilocal

@@ -8,16 +8,36 @@
 // temp-file + rename so a crashed or killed writer never leaves a torn
 // kernel behind for a reader to choke on.
 //
+// All filesystem access goes through the injected Env (engine/env.hpp), and
+// the store is built to *degrade, never fail* when that Env misbehaves:
+//
+//   * write failure (ENOSPC, torn temp file, failed rename) -> the entry
+//     keeps serving from the cache, is marked non-persisted with a retry
+//     budget, and retry_pending() re-attempts the persist later (the
+//     scheduler calls it after every compute batch);
+//   * read failure -> treated as a miss, the caller recomputes;
+//   * corrupt or foreign file -> treated as a miss and *quarantined* (moved
+//     to `<name>.quarantined`) so the poison is kept for inspection but
+//     never re-read, and the recomputed kernel can land cleanly;
+//   * orphaned `*.tmp*` files (a writer crashed between temp write and
+//     rename) are swept on startup.
+//
+// The write_failures / quarantined / pending_persists counters make every
+// one of those paths auditable through the engine stats endpoint.
+//
 // Thread-safe: one mutex serializes cache metadata, while serialization I/O
 // happens outside the lock (the file an entry maps to is immutable once
 // renamed into place).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
+#include "engine/env.hpp"
 #include "engine/lru_cache.hpp"
 
 namespace semilocal {
@@ -30,43 +50,91 @@ struct KernelStoreOptions {
   std::size_t cache_bytes = std::size_t{64} << 20;
   /// Persist kernels inserted via put() to the disk tier.
   bool persist = true;
+  /// Re-attempts a failed persist gets (via retry_pending()) before the
+  /// entry is abandoned as cache-only.
+  int persist_retries = 3;
+  /// Bound on entries tracked for persist retry; beyond it a failed write
+  /// is counted but the entry is immediately cache-only (no retry).
+  std::size_t max_pending_persists = 256;
+  /// Filesystem the store runs on. nullptr = real_env().
+  Env* env = nullptr;
 };
 
 struct KernelStoreStats {
   LruCacheStats cache;
-  std::uint64_t disk_hits = 0;    ///< found on disk after a cache miss
-  std::uint64_t disk_errors = 0;  ///< unreadable/corrupt files (treated as misses)
-  std::uint64_t disk_writes = 0;
+  std::uint64_t disk_hits = 0;        ///< found on disk after a cache miss
+  std::uint64_t disk_errors = 0;      ///< unreadable/corrupt files (treated as misses)
+  std::uint64_t disk_writes = 0;      ///< kernels successfully persisted
+  std::uint64_t write_failures = 0;   ///< failed persist attempts (incl. retries)
+  std::uint64_t quarantined = 0;      ///< corrupt files moved aside / removed
+  std::uint64_t tmp_swept = 0;        ///< orphaned temp files removed at startup
+  std::size_t pending_persists = 0;   ///< entries cached but not yet on disk
+
+  /// The store is degraded while any entry is cache-only pending a persist
+  /// retry: serving is correct but a restart would lose those kernels.
+  [[nodiscard]] bool degraded() const { return pending_persists > 0; }
 };
 
 class KernelStore {
  public:
   explicit KernelStore(KernelStoreOptions options);
 
-  /// Cache, then disk. nullptr if the pair is in neither tier. Disk hits
-  /// come back as fresh entries with no query index yet -- the index is
+  /// Cache, then disk. nullptr if the pair is in neither tier (including
+  /// every disk failure mode: those degrade to a miss, never throw). Disk
+  /// hits come back as fresh entries with no query index yet -- the index is
   /// rebuilt lazily on first query (it is never persisted).
   CachedKernelPtr find(const PairKey& key);
 
   /// Inserts into the cache and (if configured) persists the kernel to disk
-  /// (the entry's query index, if any, stays in memory only).
+  /// (the entry's query index, if any, stays in memory only). A persist
+  /// failure marks the entry pending with a retry budget instead of
+  /// throwing.
   void put(const PairKey& key, CachedKernelPtr entry);
+
+  /// Re-attempts every pending persist once (each failure burns one retry;
+  /// at zero the entry is abandoned as cache-only). Returns the number
+  /// persisted. The scheduler calls this after each compute batch.
+  std::size_t retry_pending();
 
   /// True iff the disk tier holds this key (cache not consulted).
   [[nodiscard]] bool on_disk(const PairKey& key) const;
+
+  /// True iff puts are (configured to be) persisted to a disk tier.
+  [[nodiscard]] bool persists() const {
+    return options_.persist && !options_.dir.empty();
+  }
 
   [[nodiscard]] KernelStoreStats stats() const;
   [[nodiscard]] const std::string& dir() const { return options_.dir; }
 
  private:
+  struct PendingPersist {
+    CachedKernelPtr entry;
+    int retries_left = 0;
+  };
+
   [[nodiscard]] std::string path_for(const PairKey& key) const;
+  /// Serialize + temp write + rename. Returns true on success; failure
+  /// cleans up the temp file best-effort and returns false.
+  bool persist_one(const PairKey& key, const CachedKernel& entry);
+  /// Moves a corrupt kernel file aside (or removes it if the move fails).
+  void quarantine(const std::string& path);
+  /// Startup recovery: removes `*.tmp*` orphans left by crashed writers.
+  void sweep_orphan_tmps();
 
   KernelStoreOptions options_;
+  Env* env_;
   mutable std::mutex mutex_;
   LruKernelCache cache_;
+  std::unordered_map<PairKey, PendingPersist, PairKeyHash> pending_;
+  std::mutex retry_mutex_;  ///< serializes retry_pending passes (I/O phase)
   std::uint64_t disk_hits_ = 0;
   std::uint64_t disk_errors_ = 0;
   std::uint64_t disk_writes_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t tmp_swept_ = 0;
+  std::uint64_t tmp_serial_ = 0;  ///< per-store, so temp names are deterministic
 };
 
 }  // namespace semilocal

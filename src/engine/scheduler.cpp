@@ -17,7 +17,11 @@ std::shared_future<CachedKernelPtr> ready_future(CachedKernelPtr entry) {
 
 KernelScheduler::KernelScheduler(KernelStore& store, SchedulerOptions options,
                                  LatencyRecorder* latency, QueryCounters* counters)
-    : store_(store), options_(options), latency_(latency), counters_(counters) {
+    : store_(store),
+      options_(std::move(options)),
+      env_(options_.env ? options_.env : &real_env()),
+      latency_(latency),
+      counters_(counters) {
   threads_.reserve(static_cast<std::size_t>(std::max(0, options_.workers)));
   for (int i = 0; i < options_.workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -61,6 +65,7 @@ std::shared_future<CachedKernelPtr> KernelScheduler::submit(const PairKey& key,
   job->key = key;
   job->a = std::move(a);
   job->b = std::move(b);
+  job->queued_ns = env_->now_ns();
   auto future = job->promise.get_future().share();
   inflight_.emplace(key, future);
   queue_.push_back(std::move(job));
@@ -115,6 +120,10 @@ bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (results[i]) store_.put(batch[i]->key, results[i]);
   }
+  // Entries whose earlier persist failed get their retry here, piggybacked
+  // on compute batches so a recovered disk drains the pending set without a
+  // dedicated timer thread.
+  store_.retry_pending();
 
   // Settle the books before resolving the promises: a caller whose
   // future.get() has returned must observe the computation in stats().
@@ -127,7 +136,10 @@ bool KernelScheduler::run_one_batch(std::unique_lock<std::mutex>& lock,
     if (failure) {
       batch[i]->promise.set_exception(failure);
     } else {
-      if (latency_) latency_->record(batch[i]->queued.milliseconds());
+      if (latency_) {
+        latency_->record(static_cast<double>(env_->now_ns() - batch[i]->queued_ns) /
+                         1e6);
+      }
       const CachedKernelPtr& entry = results[i];
       batch[i]->promise.set_value(entry);
     }

@@ -29,10 +29,10 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "engine/env.hpp"
 #include "engine/kernel_store.hpp"
 #include "engine/latency.hpp"
 #include "engine/query.hpp"
-#include "util/timer.hpp"
 
 namespace semilocal {
 
@@ -64,6 +64,8 @@ struct SchedulerOptions {
   /// finds the index ready. drain() never builds eagerly (workers = 0 mode
   /// relies on the lazy std::call_once build instead).
   bool build_index = true;
+  /// Clock source for latency samples. nullptr = real_env().
+  Env* env = nullptr;
 };
 
 struct SchedulerStats {
@@ -106,7 +108,7 @@ class KernelScheduler {
     Sequence a;
     Sequence b;
     std::promise<CachedKernelPtr> promise;
-    Timer queued;  // started at submission; read at completion
+    std::uint64_t queued_ns = 0;  // env clock at submission; read at completion
   };
   using JobPtr = std::shared_ptr<Job>;
 
@@ -119,6 +121,7 @@ class KernelScheduler {
 
   KernelStore& store_;
   SchedulerOptions options_;
+  Env* env_;
   LatencyRecorder* latency_;
   QueryCounters* counters_;
 

@@ -10,6 +10,7 @@
 #include "core/incremental.hpp"
 #include "core/serialize.hpp"
 #include "oracles.hpp"
+#include "scratch.hpp"
 #include "util/random.hpp"
 
 namespace semilocal {
@@ -30,11 +31,21 @@ TEST(Serialize, RoundTripsThroughStream) {
 
 TEST(Serialize, RoundTripsThroughFile) {
   const auto kernel = semi_local_kernel(to_sequence("HELLO"), to_sequence("WORLD"));
-  const auto path = std::filesystem::temp_directory_path() / "semilocal_kernel_test.bin";
-  save_kernel_file(path.string(), kernel);
-  const auto loaded = load_kernel_file(path.string());
+  const testing::ScratchDir dir;
+  const auto path = dir.file("kernel.bin");
+  save_kernel_file(path, kernel);
+  const auto loaded = load_kernel_file(path);
   EXPECT_EQ(loaded.permutation(), kernel.permutation());
-  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RoundTripsThroughBytes) {
+  const auto a = testing::random_string(21, 4, 3);
+  const auto b = testing::random_string(34, 4, 4);
+  const auto kernel = semi_local_kernel(a, b);
+  const auto loaded = load_kernel_bytes(save_kernel_bytes(kernel));
+  EXPECT_EQ(loaded.m(), kernel.m());
+  EXPECT_EQ(loaded.n(), kernel.n());
+  EXPECT_EQ(loaded.permutation(), kernel.permutation());
 }
 
 TEST(Serialize, EmptyKernel) {

@@ -5,18 +5,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "scratch.hpp"
 #include "util/table.hpp"
 
 namespace semilocal {
 namespace {
 
 std::string write_and_read(Table& t) {
-  const auto path = std::filesystem::temp_directory_path() / "semilocal_table_test.csv";
-  t.write_csv(path.string());
+  const testing::ScratchDir dir;
+  const auto path = dir.file("table.csv");
+  t.write_csv(path);
   std::ifstream in(path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  std::filesystem::remove(path);
   return buffer.str();
 }
 

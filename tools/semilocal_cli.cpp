@@ -175,6 +175,12 @@ int cmd_precompute(const CliArgs& args) {
             << report.computed << " kernels computed, " << report.reused
             << " reused from store, in " << t.seconds() << " s\n";
   std::cout << "index written to " << index_path << "\n";
+  if (report.persist_failures > 0) {
+    std::cerr << "warning: " << report.persist_failures
+              << " kernels could not be persisted (disk errors); a re-run will "
+                 "recompute them\n";
+    return 1;
+  }
   return 0;
 }
 

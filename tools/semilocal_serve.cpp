@@ -61,40 +61,6 @@ Strategy parse_strategy(const std::string& name) {
   throw std::invalid_argument("unknown --algorithm '" + name + "'");
 }
 
-std::string stats_json(const EngineStats& s) {
-  std::string out = "{";
-  const auto field = [&out](const char* name, auto value, bool last = false) {
-    out += '"';
-    out += name;
-    out += "\": ";
-    out += std::to_string(value);
-    if (!last) out += ", ";
-  };
-  field("requests", s.requests);
-  field("cache_hits", s.store.cache.hits);
-  field("cache_misses", s.store.cache.misses);
-  field("cache_evictions", s.store.cache.evictions);
-  field("cache_entries", s.store.cache.entries);
-  field("cache_bytes", s.store.cache.bytes);
-  field("disk_hits", s.store.disk_hits);
-  field("disk_writes", s.store.disk_writes);
-  field("computed", s.scheduler.computed);
-  field("coalesced", s.scheduler.coalesced);
-  field("rejected", s.scheduler.rejected);
-  field("batches", s.scheduler.batches);
-  field("queue_depth", s.scheduler.queue_depth);
-  field("cache_hit_rate", s.cache_hit_rate());
-  field("queries_indexed", s.queries.indexed);
-  field("queries_scanned", s.queries.scanned);
-  field("index_builds", s.queries.index_builds);
-  field("latency_count", s.latency.count);
-  field("p50_ms", s.latency.p50_ms);
-  field("p90_ms", s.latency.p90_ms);
-  field("p99_ms", s.latency.p99_ms, /*last=*/true);
-  out += "}";
-  return out;
-}
-
 struct ServeConfig {
   bool dna = false;
   bool inline_compute = false;  // stdio mode: drain on the session thread
