@@ -14,6 +14,15 @@
 //             QueryIndex and once forced onto the O(m+n) scan. The ratio of
 //             the two queries_per_s numbers is the serving-path win of the
 //             index; the counters prove the indexed run never fell back.
+//   capacity_sweep
+//             the format-v3 capacity claim, measured: a disk-backed store
+//             with a FIXED cache budget serves a pool far larger than the
+//             decoded tier can hold, once with raw v2 kernels (every disk
+//             hit decoded and index-projected) and once with compressed v3
+//             (disk hits stay compressed-resident; only the hot subset is
+//             promoted). Reports resident pairs per GB and the warm p50/p99
+//             of a hot-heavy request stream for both legs, plus the derived
+//             capacity_ratio and p50_regression the check gate enforces.
 //
 // Engine stats are recorded alongside the client-side numbers so a regression
 // in the *policy* (recompute where a hit was possible) is visible, not just a
@@ -217,8 +226,132 @@ MixResult run_window_sweep(const std::string& name, int pairs, int requests,
   return result;
 }
 
+struct CapacityLeg {
+  std::string name;
+  std::size_t resident_pairs = 0;
+  double pairs_per_gb = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t bytes_on_disk = 0;     // from the build phase (it persisted)
+  double compression_ratio = 1.0;      // raw-equivalent bytes / actual bytes
+  EngineStats stats;
+};
+
+struct CapacityResult {
+  int pool_pairs = 0;
+  int hot_pairs = 0;
+  std::size_t cache_bytes = 0;
+  CapacityLeg v2;
+  CapacityLeg v3;
+
+  /// How many more pairs the fixed budget keeps resident under v3.
+  [[nodiscard]] double capacity_ratio() const {
+    return v2.pairs_per_gb > 0 ? v3.pairs_per_gb / v2.pairs_per_gb : 0.0;
+  }
+
+  /// Warm p50 cost of compression on the hot path (negative = v3 faster).
+  [[nodiscard]] double p50_regression() const {
+    return v2.p50_ms > 0 ? (v3.p50_ms - v2.p50_ms) / v2.p50_ms : 0.0;
+  }
+};
+
+/// One capacity leg: build a disk store of `pairs` kernels in `format`, then
+/// restart cold over it and replay `rounds` hot-heavy request rounds (each:
+/// every pair once, each of the first `hot` pairs `hot_weight` times, so hot
+/// requests are the majority and p50 reflects the hot serving path). The
+/// first round is untimed warm-up; residency is read after the last round.
+CapacityLeg run_capacity_leg(const std::string& name, KernelFormat format,
+                             const std::vector<std::pair<Sequence, Sequence>>& pool,
+                             int hot, int hot_weight, int rounds,
+                             std::size_t cache_bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / ("semilocal_bench_" + name);
+  fs::remove_all(dir);
+
+  EngineOptions options;
+  options.store.dir = dir.string();
+  options.store.format = format;
+  options.store.cache_bytes = cache_bytes;
+  // Half the budget may hold promoted (fully decoded + indexed) entries;
+  // the rest is for the compressed tail. The hot subset must fit decoded.
+  options.store.promoted_fraction = 0.5;
+  options.store.promote_after_hits = 2;
+  options.scheduler.workers = hardware_threads();
+  options.scheduler.max_queue = pool.size() * 2;
+
+  CapacityLeg leg;
+  leg.name = name;
+  {  // Build phase: compute + persist every pair, then drop the engine.
+    ComparisonEngine builder(options);
+    for (const auto& [a, b] : pool) (void)builder.lcs(a, b);
+    leg.bytes_on_disk = builder.stats().store.bytes_on_disk;
+    leg.compression_ratio = builder.stats().store.compression_ratio();
+  }
+  ComparisonEngine engine(options);  // cold cache over the populated store
+  std::vector<double> latencies;
+  for (int round = 0; round < rounds + 1; ++round) {
+    const bool timed = round > 0;
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      const int repeats = p < static_cast<std::size_t>(hot) ? hot_weight : 1;
+      for (int r = 0; r < repeats; ++r) {
+        Timer timer;
+        (void)engine.lcs(pool[p].first, pool[p].second);
+        if (timed) latencies.push_back(timer.milliseconds());
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  leg.p50_ms = percentile(latencies, 0.50);
+  leg.p99_ms = percentile(latencies, 0.99);
+  leg.stats = engine.stats();
+  leg.resident_pairs = leg.stats.store.cache.entries;
+  leg.pairs_per_gb = static_cast<double>(leg.resident_pairs) *
+                     (static_cast<double>(std::size_t{1} << 30) /
+                      static_cast<double>(cache_bytes));
+  fs::remove_all(dir);
+  return leg;
+}
+
+CapacityResult run_capacity_sweep(Index length) {
+  CapacityResult result;
+  result.pool_pairs = 64;
+  result.hot_pairs = 4;
+  // The fixed budget: room for ~10 fully decoded entries. The pool is 64
+  // pairs, so the decoded-only leg must evict while the compressed leg can
+  // keep the whole pool resident.
+  result.cache_bytes = 10 * decoded_entry_bytes(2 * length);
+  const auto pool = make_pool(result.pool_pairs, length, 8600);
+  // hot_weight 20 over 64 pairs: 80 of 140 requests per round are hot.
+  result.v2 = run_capacity_leg("capacity_v2_raw", KernelFormat::kV2Raw, pool,
+                               result.hot_pairs, /*hot_weight=*/20, /*rounds=*/3,
+                               result.cache_bytes);
+  result.v3 = run_capacity_leg("capacity_v3_compressed", KernelFormat::kV3Compressed,
+                               pool, result.hot_pairs, /*hot_weight=*/20,
+                               /*rounds=*/3, result.cache_bytes);
+  return result;
+}
+
+void write_capacity_leg(std::ofstream& out, const CapacityLeg& leg, bool last) {
+  const EngineStats& s = leg.stats;
+  out << "    {\"name\": \"" << leg.name << "\", \"resident_pairs\": "
+      << leg.resident_pairs << ", \"pairs_per_gb\": " << leg.pairs_per_gb
+      << ", \"p50_ms\": " << leg.p50_ms << ", \"p99_ms\": " << leg.p99_ms
+      << ",\n     \"disk_hits\": " << s.store.disk_hits
+      << ", \"disk_errors\": " << s.store.disk_errors
+      << ", \"compressed_loads\": " << s.store.compressed_loads
+      << ", \"promotions\": " << s.store.promotions
+      << ", \"blocks_decoded\": " << s.store.blocks_decoded + s.queries.blocks_decoded
+      << ",\n     \"store_bytes_on_disk\": " << leg.bytes_on_disk
+      << ", \"store_bytes_resident\": " << s.store.cache.bytes
+      << ", \"compression_ratio\": " << leg.compression_ratio
+      << ", \"queries_compressed\": " << s.queries.compressed
+      << ", \"queries_scanned\": " << s.queries.scanned
+      << ", \"mmap_fallbacks\": " << s.store.mmap_fallbacks << "}"
+      << (last ? "" : ",") << "\n";
+}
+
 void write_json(const std::string& path, const std::vector<MixResult>& mixes,
-                Index length) {
+                const CapacityResult& capacity, Index length) {
   std::filesystem::create_directories(std::filesystem::path(path).parent_path());
   std::ofstream out(path);
   out << "{\n  \"workers\": " << hardware_threads() << ",\n";
@@ -245,7 +378,17 @@ void write_json(const std::string& path, const std::vector<MixResult>& mixes,
         << ", \"index_builds\": " << m.stats.queries.index_builds << "}"
         << (i + 1 < mixes.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"capacity_sweep\": {\n"
+      << "    \"pool_pairs\": " << capacity.pool_pairs
+      << ", \"hot_pairs\": " << capacity.hot_pairs
+      << ", \"cache_bytes\": " << capacity.cache_bytes
+      << ", \"capacity_ratio\": " << capacity.capacity_ratio()
+      << ", \"p50_regression\": " << capacity.p50_regression() << ",\n"
+      << "    \"legs\": [\n";
+  write_capacity_leg(out, capacity.v2, /*last=*/false);
+  write_capacity_leg(out, capacity.v3, /*last=*/true);
+  out << "  ]}\n}\n";
   std::cout << "engine report written to " << path << "\n";
 }
 
@@ -282,6 +425,8 @@ int main() {
                                    length, /*queries_per_request=*/4096,
                                    /*use_index=*/false));
 
+  const CapacityResult capacity = run_capacity_sweep(length);
+
   Table table({"mix", "requests", "throughput_req_s", "queries_per_s", "p50_ms",
                "p99_ms", "computed", "coalesced", "cache_hit_rate", "indexed",
                "scanned"});
@@ -300,6 +445,24 @@ int main() {
         .cell(static_cast<long long>(m.stats.queries.scanned));
   }
   table.print(std::cout, "comparison engine serving mixes");
-  write_json("results/bench_engine.json", mixes, length);
+
+  Table cap({"leg", "resident_pairs", "pairs_per_gb", "p50_ms", "p99_ms",
+             "compression", "promotions", "mmap_fallbacks"});
+  for (const CapacityLeg* leg : {&capacity.v2, &capacity.v3}) {
+    cap.row()
+        .cell(leg->name)
+        .cell(static_cast<long long>(leg->resident_pairs))
+        .cell(leg->pairs_per_gb, 0)
+        .cell(leg->p50_ms, 4)
+        .cell(leg->p99_ms, 4)
+        .cell(leg->compression_ratio, 2)
+        .cell(static_cast<long long>(leg->stats.store.promotions))
+        .cell(static_cast<long long>(leg->stats.store.mmap_fallbacks));
+  }
+  cap.print(std::cout, "capacity sweep (fixed cache budget)");
+  std::cout << "capacity_ratio " << capacity.capacity_ratio() << "x, p50_regression "
+            << 100.0 * capacity.p50_regression() << "%\n";
+
+  write_json("results/bench_engine.json", mixes, capacity, length);
   return 0;
 }

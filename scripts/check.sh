@@ -11,6 +11,15 @@
 # many threads share one cached kernel and its once-built index, exactly the
 # code where a missing happens-before survives unnoticed on x86.
 #
+# After the ASan suite passes, the serialize|store label slice is re-run
+# under ASan explicitly: those suites parse untrusted bytes (codec fuzz) and
+# exercise the mmap seam, so the slice must exist (a label typo would
+# silently drop it from the filter) and must be clean.
+#
+# The bench gate then runs a scaled-down bench_engine (release) and fails if
+# the happy path ever fell back from mmap to whole-file reads
+# (mmap_fallbacks > 0 means the seam is broken on this platform).
+#
 # With CHECK_FAULTS=1, an extra leg runs the fault-injection scenario runner
 # (tests/test_faults) over FAULT_SEEDS extra random schedules beyond the
 # suite's built-in 200, starting at FAULT_SEED_BASE (default: derived from
@@ -36,6 +45,25 @@ for preset in release asan tsan; do
   echo "==> ctest ($preset)"
   ctest --preset "$preset" -j "$jobs"
 done
+
+echo "==> serialize|store slice under ASan"
+# -L with no matching tests exits 0, which would let a label typo silently
+# drop the slice; demand a non-empty test list first.
+if ! ctest --preset asan -N -L 'serialize|store' | grep -q 'Total Tests: [1-9]'; then
+  echo "error: no tests carry the serialize/store labels" >&2
+  exit 1
+fi
+ctest --preset asan -j "$jobs" -L 'serialize|store'
+
+echo "==> bench gate: mmap happy path (scaled bench_engine)"
+cmake --build --preset release -j "$jobs" --target bench_engine >/dev/null
+# Run from the build dir so the committed results/ JSON is not clobbered.
+( cd build/release && SEMILOCAL_BENCH_SCALE="${BENCH_GATE_SCALE:-0.1}" ./bench/bench_engine >/dev/null )
+if grep -Eq '"mmap_fallbacks": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: bench_engine reported mmap_fallbacks > 0 on the happy path" >&2
+  grep -o '"mmap_fallbacks": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
 
 if [[ "${CHECK_FAULTS:-0}" == "1" ]]; then
   seeds=${FAULT_SEEDS:-64}

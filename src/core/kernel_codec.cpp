@@ -1,0 +1,344 @@
+#include "core/kernel_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace semilocal {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 44;
+constexpr std::size_t kIndexRecordBytes = 24;
+constexpr std::size_t kChecksumFieldOffset = 36;
+
+// Raw values fit 32 bits; zigzag deltas of values in [0, 2^31) fit 33.
+constexpr std::uint8_t kMaxRawBits = 32;
+constexpr std::uint8_t kMaxDeltaBits = 34;
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod_at(std::string_view bytes, std::size_t offset) {
+  T value{};
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+}
+
+constexpr std::uint8_t bits_for(std::uint64_t max_value) {
+  const int width = std::bit_width(max_value);
+  return static_cast<std::uint8_t>(width == 0 ? 1 : width);
+}
+
+constexpr std::uint64_t low_mask(std::uint8_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+// LSB-first bit packer. Values must fit `bits`; bits <= 34, so with the
+// accumulator drained below 8 bits between values nothing ever overflows 64.
+void pack_bits(const std::uint64_t* values, std::size_t count, std::uint8_t bits,
+               std::string& out) {
+  std::uint64_t acc = 0;
+  unsigned filled = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc |= values[i] << filled;
+    filled += bits;
+    while (filled >= 8) {
+      out.push_back(static_cast<char>(acc & 0xff));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) out.push_back(static_cast<char>(acc & 0xff));
+}
+
+// Matching LSB-first unpacker over an already-checksummed block.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view bytes)
+      : p_(reinterpret_cast<const unsigned char*>(bytes.data())),
+        end_(p_ + bytes.size()) {}
+
+  std::uint64_t take(std::uint8_t bits) {
+    while (avail_ < bits && p_ != end_) {
+      acc_ |= static_cast<std::uint64_t>(*p_++) << avail_;
+      avail_ += 8;
+    }
+    const std::uint64_t value = acc_ & low_mask(bits);
+    acc_ >>= bits;
+    avail_ = avail_ >= bits ? avail_ - bits : 0;
+    return value;
+  }
+
+ private:
+  const unsigned char* p_;
+  const unsigned char* end_;
+  std::uint64_t acc_ = 0;
+  unsigned avail_ = 0;
+};
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("kernel v3: " + what);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint32_t kernel_format_version(std::string_view bytes) {
+  if (bytes.size() < 12) return 0;
+  if (std::memcmp(bytes.data(), kKernelMagic.data(), kKernelMagic.size()) != 0) {
+    return 0;
+  }
+  return read_pod_at<std::uint32_t>(bytes, 8);
+}
+
+std::string encode_kernel_v3(const SemiLocalKernel& kernel,
+                             std::uint32_t block_entries) {
+  if (block_entries == 0 || block_entries > kMaxBlockEntries) {
+    throw std::invalid_argument("encode_kernel_v3: bad block_entries");
+  }
+  const auto& row_to_col = kernel.permutation().row_to_col();
+  const std::size_t total = row_to_col.size();
+  const std::size_t nb = (total + block_entries - 1) / block_entries;
+
+  std::string index;
+  std::string payload;
+  index.reserve(nb * kIndexRecordBytes);
+  std::vector<std::uint64_t> scratch;
+  scratch.reserve(std::min<std::size_t>(total, block_entries));
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t row_base = b * block_entries;
+    const std::size_t entries = std::min<std::size_t>(block_entries, total - row_base);
+    // Raw candidate: the values themselves.
+    std::uint64_t max_raw = 0;
+    for (std::size_t k = 0; k < entries; ++k) {
+      max_raw = std::max(max_raw,
+                         static_cast<std::uint64_t>(row_to_col[row_base + k]));
+    }
+    const std::uint8_t raw_bits = bits_for(max_raw);
+    // Delta candidate: zigzag of successive differences, the first entry
+    // predicted by its own row number (identity-like runs cost 1 bit).
+    std::uint64_t max_delta = 0;
+    std::int64_t prev = static_cast<std::int64_t>(row_base);
+    for (std::size_t k = 0; k < entries; ++k) {
+      const auto v = static_cast<std::int64_t>(row_to_col[row_base + k]);
+      max_delta = std::max(max_delta, zigzag(v - prev));
+      prev = v;
+    }
+    const std::uint8_t delta_bits = bits_for(max_delta);
+
+    const bool use_delta = delta_bits < raw_bits;
+    const std::uint8_t mode = use_delta ? 1 : 0;
+    const std::uint8_t bits = use_delta ? delta_bits : raw_bits;
+    scratch.clear();
+    prev = static_cast<std::int64_t>(row_base);
+    for (std::size_t k = 0; k < entries; ++k) {
+      const auto v = static_cast<std::int64_t>(row_to_col[row_base + k]);
+      scratch.push_back(use_delta ? zigzag(v - prev)
+                                  : static_cast<std::uint64_t>(v));
+      prev = v;
+    }
+    const std::size_t offset = payload.size();
+    pack_bits(scratch.data(), scratch.size(), bits, payload);
+    const std::size_t encoded = payload.size() - offset;
+    append_pod(index, static_cast<std::uint64_t>(offset));
+    append_pod(index, static_cast<std::uint32_t>(encoded));
+    index.push_back(static_cast<char>(mode));
+    index.push_back(static_cast<char>(bits));
+    append_pod(index, std::uint16_t{0});
+    append_pod(index, fnv1a64(kFnv64Basis, payload.data() + offset, encoded));
+  }
+
+  std::string out;
+  out.reserve(kHeaderBytes + index.size() + payload.size());
+  out.append(kKernelMagic.data(), kKernelMagic.size());
+  append_pod(out, kKernelFormatV3);
+  append_pod(out, static_cast<std::int64_t>(kernel.m()));
+  append_pod(out, static_cast<std::int64_t>(kernel.n()));
+  append_pod(out, block_entries);
+  append_pod(out, static_cast<std::uint32_t>(nb));
+  std::uint64_t checksum = fnv1a64(kFnv64Basis, out.data(), kChecksumFieldOffset);
+  checksum = fnv1a64(checksum, index.data(), index.size());
+  append_pod(out, checksum);
+  out += index;
+  out += payload;
+  return out;
+}
+
+CompressedKernelPtr CompressedKernel::open(std::string_view bytes,
+                                           std::shared_ptr<const void> owner) {
+  auto self = std::shared_ptr<CompressedKernel>(new CompressedKernel());
+  self->bytes_ = bytes;
+  self->owner_ = std::move(owner);
+
+  if (bytes.size() < kHeaderBytes) corrupt("truncated header");
+  if (std::memcmp(bytes.data(), kKernelMagic.data(), kKernelMagic.size()) != 0) {
+    corrupt("bad magic");
+  }
+  if (read_pod_at<std::uint32_t>(bytes, 8) != kKernelFormatV3) {
+    corrupt("not a v3 stream");
+  }
+  const auto m = read_pod_at<std::int64_t>(bytes, 12);
+  const auto n = read_pod_at<std::int64_t>(bytes, 20);
+  // Bound each dimension before summing: a corrupted size field near
+  // INT64_MAX must not overflow `m + n` (UB) or drive a giant allocation.
+  if (m < 0 || n < 0 || m > kMaxKernelOrder || n > kMaxKernelOrder ||
+      m + n > kMaxKernelOrder) {
+    corrupt("implausible dimensions");
+  }
+  const auto block_entries = read_pod_at<std::uint32_t>(bytes, 28);
+  if (block_entries == 0 || block_entries > kMaxBlockEntries) {
+    corrupt("implausible block size");
+  }
+  const auto total = static_cast<std::uint64_t>(m + n);
+  const std::uint64_t expect_nb = (total + block_entries - 1) / block_entries;
+  if (read_pod_at<std::uint32_t>(bytes, 32) != expect_nb) {
+    corrupt("block count disagrees with dimensions");
+  }
+  const std::uint64_t index_bytes = expect_nb * kIndexRecordBytes;
+  if (bytes.size() < kHeaderBytes + index_bytes) corrupt("truncated block index");
+  std::uint64_t checksum =
+      fnv1a64(kFnv64Basis, bytes.data(), kChecksumFieldOffset);
+  checksum = fnv1a64(checksum, bytes.data() + kHeaderBytes, index_bytes);
+  if (checksum != read_pod_at<std::uint64_t>(bytes, kChecksumFieldOffset)) {
+    corrupt("header/index checksum mismatch");
+  }
+
+  self->m_ = m;
+  self->n_ = n;
+  self->block_entries_ = block_entries;
+  self->payload_ = bytes.substr(kHeaderBytes + index_bytes);
+  self->blocks_.reserve(static_cast<std::size_t>(expect_nb));
+  std::size_t expected_offset = 0;
+  for (std::uint64_t b = 0; b < expect_nb; ++b) {
+    const std::size_t rec = kHeaderBytes + static_cast<std::size_t>(b) * kIndexRecordBytes;
+    Block block;
+    block.offset = static_cast<std::size_t>(read_pod_at<std::uint64_t>(bytes, rec));
+    block.encoded_bytes = read_pod_at<std::uint32_t>(bytes, rec + 8);
+    block.mode = static_cast<std::uint8_t>(bytes[rec + 12]);
+    block.bits = static_cast<std::uint8_t>(bytes[rec + 13]);
+    block.entries = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        block_entries, total - b * block_entries));
+    // The record is checksummed, so any mismatch here is an encoder bug or a
+    // deliberately crafted file; reject both the same way.
+    if (read_pod_at<std::uint16_t>(bytes, rec + 14) != 0) corrupt("bad index record");
+    if (block.mode > 1) corrupt("bad block mode");
+    const std::uint8_t max_bits = block.mode == 1 ? kMaxDeltaBits : kMaxRawBits;
+    if (block.bits == 0 || block.bits > max_bits) corrupt("bad block width");
+    const std::uint64_t expect_bytes =
+        (static_cast<std::uint64_t>(block.entries) * block.bits + 7) / 8;
+    if (block.encoded_bytes != expect_bytes) corrupt("bad block length");
+    if (block.offset != expected_offset) corrupt("bad block offset");
+    expected_offset += block.encoded_bytes;
+    self->blocks_.push_back(block);
+  }
+  if (self->payload_.size() != expected_offset) {
+    corrupt("payload size disagrees with block index");
+  }
+  for (std::uint64_t b = 0; b < expect_nb; ++b) {
+    const Block& block = self->blocks_[static_cast<std::size_t>(b)];
+    const std::uint64_t stored =
+        read_pod_at<std::uint64_t>(bytes, kHeaderBytes + static_cast<std::size_t>(b) *
+                                                            kIndexRecordBytes + 16);
+    if (fnv1a64(kFnv64Basis, self->payload_.data() + block.offset,
+                block.encoded_bytes) != stored) {
+      corrupt("block checksum mismatch");
+    }
+  }
+  return self;
+}
+
+CompressedKernelPtr CompressedKernel::open(std::string bytes) {
+  // The string must land at its final address before the views are taken.
+  auto holder = std::make_shared<std::string>(std::move(bytes));
+  auto self = open(std::string_view(*holder), holder);
+  return self;
+}
+
+void CompressedKernel::decode_block(std::size_t b, std::int32_t* out) const {
+  const Block& block = blocks_[b];
+  const std::int64_t total = m_ + n_;
+  BitReader reader(payload_.substr(block.offset, block.encoded_bytes));
+  std::int64_t prev = static_cast<std::int64_t>(b) * block_entries_;
+  for (std::uint32_t k = 0; k < block.entries; ++k) {
+    std::int64_t value;
+    if (block.mode == 1) {
+      value = prev + unzigzag(reader.take(block.bits));
+      prev = value;
+    } else {
+      value = static_cast<std::int64_t>(reader.take(block.bits));
+    }
+    // Checksums catch corruption; this bounds-check catches encoder bugs and
+    // crafted files, so a decode can never emit an out-of-range column.
+    if (value < 0 || value >= total) corrupt("entry outside permutation range");
+    out[k] = static_cast<std::int32_t>(value);
+  }
+}
+
+Index CompressedKernel::sigma(Index i, Index j,
+                              std::atomic<std::uint64_t>* blocks_decoded) const {
+  const std::int64_t total = m_ + n_;
+  if (i < 0 || j < 0 || i > total || j > total) {
+    throw std::out_of_range("CompressedKernel::sigma: index outside [0, m+n]");
+  }
+  if (i >= total || j == 0) return 0;
+  std::int64_t count = 0;
+  std::uint64_t decoded = 0;
+  std::vector<std::int32_t> scratch(block_entries_);
+  for (std::size_t b = static_cast<std::size_t>(i) / block_entries_;
+       b < blocks_.size(); ++b) {
+    decode_block(b, scratch.data());
+    ++decoded;
+    const std::int64_t row_base = static_cast<std::int64_t>(b) * block_entries_;
+    std::uint32_t k = 0;
+    if (row_base < i) k = static_cast<std::uint32_t>(i - row_base);
+    for (; k < blocks_[b].entries; ++k) {
+      count += scratch[k] < j ? 1 : 0;
+    }
+  }
+  if (blocks_decoded) {
+    blocks_decoded->fetch_add(decoded, std::memory_order_relaxed);
+  }
+  return static_cast<Index>(count);
+}
+
+SemiLocalKernel CompressedKernel::decode(
+    std::atomic<std::uint64_t>* blocks_decoded) const {
+  std::vector<std::int32_t> row_to_col(static_cast<std::size_t>(m_ + n_));
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    decode_block(b, row_to_col.data() + b * block_entries_);
+  }
+  if (blocks_decoded) {
+    blocks_decoded->fetch_add(blocks_.size(), std::memory_order_relaxed);
+  }
+  Permutation perm;
+  try {
+    perm = Permutation::from_row_to_col(std::move(row_to_col));
+  } catch (const std::invalid_argument& e) {
+    corrupt(std::string("corrupt permutation: ") + e.what());
+  }
+  return SemiLocalKernel(std::move(perm), static_cast<Index>(m_),
+                         static_cast<Index>(n_));
+}
+
+}  // namespace semilocal

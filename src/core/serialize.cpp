@@ -1,100 +1,85 @@
 #include "core/serialize.hpp"
 
-#include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
-#include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
+
+#include "core/kernel_codec.hpp"
 
 namespace semilocal {
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'S', 'L', 'K', 'E', 'R', 'N', 'L', '\0'};
-// Version 2 appends a 64-bit FNV-1a checksum over (m, n, payload) so that any
-// corruption -- including dimension-field flips that still parse -- is caught
+// Version 2 layout: magic, u32 version, i64 m, i64 n, 4(m+n) payload bytes,
+// then a 64-bit FNV-1a checksum over (m, n, payload) so that any corruption
+// -- including dimension-field flips that still parse -- is caught
 // deterministically instead of relying on permutation validation to notice.
 // The unchecksummed version 1 is deliberately not accepted: a reader that
 // falls back to a weaker format on a corrupted version field defeats the
 // checksum, and no persistent v1 stores predate the kernel store.
-constexpr std::uint32_t kVersion = 2;
-
-// Largest supported braid order. Keeps the payload allocation bounded and the
-// entry values representable in int32.
-constexpr std::int64_t kMaxOrder = std::int64_t{1} << 31;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("load_kernel: truncated input");
-  return value;
-}
-
-std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 std::uint64_t payload_checksum(std::int64_t m, std::int64_t n,
-                               const std::vector<std::int32_t>& row_to_col) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  hash = fnv1a(hash, &m, sizeof(m));
-  hash = fnv1a(hash, &n, sizeof(n));
-  return fnv1a(hash, row_to_col.data(), row_to_col.size() * sizeof(std::int32_t));
+                               const std::int32_t* row_to_col, std::size_t count) {
+  std::uint64_t hash = kFnv64Basis;
+  hash = fnv1a64(hash, &m, sizeof(m));
+  hash = fnv1a64(hash, &n, sizeof(n));
+  return fnv1a64(hash, row_to_col, count * sizeof(std::int32_t));
 }
 
-}  // namespace
+// A bounds-checked little-endian cursor over the serialized bytes; the
+// string_view is parsed in place, nothing is copied until the payload lands
+// in its final vector.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : rest_(bytes) {}
 
-void save_kernel(std::ostream& out, const SemiLocalKernel& kernel) {
-  out.write(kMagic.data(), kMagic.size());
-  write_pod(out, kVersion);
-  const auto m = static_cast<std::int64_t>(kernel.m());
-  const auto n = static_cast<std::int64_t>(kernel.n());
-  write_pod(out, m);
-  write_pod(out, n);
-  const auto& row_to_col = kernel.permutation().row_to_col();
-  out.write(reinterpret_cast<const char*>(row_to_col.data()),
-            static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
-  write_pod(out, payload_checksum(m, n, row_to_col));
-  if (!out) throw std::runtime_error("save_kernel: write failed");
-}
-
-SemiLocalKernel load_kernel(std::istream& in) {
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) throw std::runtime_error("load_kernel: bad magic");
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw std::runtime_error("load_kernel: unsupported version " + std::to_string(version));
+  template <typename T>
+  T pod() {
+    T value{};
+    take(reinterpret_cast<char*>(&value), sizeof(T));
+    return value;
   }
-  const auto m = read_pod<std::int64_t>(in);
-  const auto n = read_pod<std::int64_t>(in);
+
+  void take(char* out, std::size_t count) {
+    if (rest_.size() < count) {
+      throw std::runtime_error("load_kernel: truncated input");
+    }
+    std::memcpy(out, rest_.data(), count);
+    rest_.remove_prefix(count);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return rest_.size(); }
+
+ private:
+  std::string_view rest_;
+};
+
+SemiLocalKernel load_kernel_v2(std::string_view bytes) {
+  Cursor in(bytes);
+  in.pod<std::uint64_t>();  // magic (already matched)
+  in.pod<std::uint32_t>();  // version (already dispatched)
+  const auto m = in.pod<std::int64_t>();
+  const auto n = in.pod<std::int64_t>();
   // Bound each dimension before summing: a corrupted size field near
   // INT64_MAX must not overflow `m + n` (UB) or drive a giant allocation.
-  if (m < 0 || n < 0 || m > kMaxOrder || n > kMaxOrder || m + n > kMaxOrder) {
+  if (m < 0 || n < 0 || m > kMaxKernelOrder || n > kMaxKernelOrder ||
+      m + n > kMaxKernelOrder) {
     throw std::runtime_error("load_kernel: implausible dimensions");
   }
   std::vector<std::int32_t> row_to_col(static_cast<std::size_t>(m + n));
-  in.read(reinterpret_cast<char*>(row_to_col.data()),
-          static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t)));
-  if (!in || in.gcount() !=
-                 static_cast<std::streamsize>(row_to_col.size() * sizeof(std::int32_t))) {
-    throw std::runtime_error("load_kernel: truncated permutation data");
+  in.take(reinterpret_cast<char*>(row_to_col.data()),
+          row_to_col.size() * sizeof(std::int32_t));
+  const auto stored = in.pod<std::uint64_t>();
+  if (in.remaining() != 0) {
+    throw std::runtime_error("load_kernel: trailing bytes after kernel");
   }
-  const auto stored = read_pod<std::uint64_t>(in);
-  if (stored != payload_checksum(m, n, row_to_col)) {
+  if (stored != payload_checksum(m, n, row_to_col.data(), row_to_col.size())) {
     throw std::runtime_error("load_kernel: checksum mismatch (corrupt stream)");
   }
   Permutation perm;
@@ -103,13 +88,30 @@ SemiLocalKernel load_kernel(std::istream& in) {
   } catch (const std::invalid_argument& e) {
     throw std::runtime_error(std::string("load_kernel: corrupt permutation: ") + e.what());
   }
-  return SemiLocalKernel(std::move(perm), m, n);
+  return SemiLocalKernel(std::move(perm), static_cast<Index>(m), static_cast<Index>(n));
 }
 
-void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel) {
+}  // namespace
+
+void save_kernel(std::ostream& out, const SemiLocalKernel& kernel,
+                 KernelFormat format) {
+  const std::string bytes = save_kernel_bytes(kernel, format);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_kernel: write failed");
+}
+
+SemiLocalKernel load_kernel(std::istream& in) {
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("load_kernel: read failed");
+  return load_kernel_bytes(bytes);
+}
+
+void save_kernel_file(const std::string& path, const SemiLocalKernel& kernel,
+                      KernelFormat format) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_kernel_file: cannot open " + path);
-  save_kernel(out, kernel);
+  save_kernel(out, kernel, format);
 }
 
 SemiLocalKernel load_kernel_file(const std::string& path) {
@@ -118,15 +120,35 @@ SemiLocalKernel load_kernel_file(const std::string& path) {
   return load_kernel(in);
 }
 
-std::string save_kernel_bytes(const SemiLocalKernel& kernel) {
-  std::ostringstream out(std::ios::binary);
-  save_kernel(out, kernel);
-  return std::move(out).str();
+std::string save_kernel_bytes(const SemiLocalKernel& kernel, KernelFormat format) {
+  if (format == KernelFormat::kV3Compressed) return encode_kernel_v3(kernel);
+  std::string out;
+  const auto& row_to_col = kernel.permutation().row_to_col();
+  out.reserve(36 + row_to_col.size() * sizeof(std::int32_t));
+  out.append(kKernelMagic.data(), kKernelMagic.size());
+  const std::uint32_t version = kKernelFormatV2;
+  out.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  const auto m = static_cast<std::int64_t>(kernel.m());
+  const auto n = static_cast<std::int64_t>(kernel.n());
+  out.append(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.append(reinterpret_cast<const char*>(row_to_col.data()),
+             row_to_col.size() * sizeof(std::int32_t));
+  const std::uint64_t checksum =
+      payload_checksum(m, n, row_to_col.data(), row_to_col.size());
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return out;
 }
 
 SemiLocalKernel load_kernel_bytes(std::string_view bytes) {
-  std::istringstream in(std::string(bytes), std::ios::binary);
-  return load_kernel(in);
+  const std::uint32_t version = kernel_format_version(bytes);
+  if (version == 0) throw std::runtime_error("load_kernel: bad magic");
+  if (version == kKernelFormatV2) return load_kernel_v2(bytes);
+  if (version == kKernelFormatV3) {
+    return CompressedKernel::open(bytes, /*owner=*/nullptr)->decode();
+  }
+  throw std::runtime_error("load_kernel: unsupported version " +
+                           std::to_string(version));
 }
 
 }  // namespace semilocal

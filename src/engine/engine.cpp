@@ -109,8 +109,18 @@ std::string stats_json(const EngineStats& s) {
   field("batches", s.scheduler.batches);
   field("queue_depth", s.scheduler.queue_depth);
   field("cache_hit_rate", s.cache_hit_rate());
+  field("store_bytes_on_disk", s.store.bytes_on_disk);
+  field("store_bytes_resident", s.store.cache.bytes);
+  field("compression_ratio", s.store.compression_ratio());
+  field("compressed_entries", s.store.cache.compressed_entries);
+  field("compressed_bytes", s.store.cache.compressed_bytes);
+  field("compressed_loads", s.store.compressed_loads);
+  field("promotions", s.store.promotions);
+  field("blocks_decoded", s.store.blocks_decoded + s.queries.blocks_decoded);
+  field("mmap_fallbacks", s.store.mmap_fallbacks);
   field("queries_indexed", s.queries.indexed);
   field("queries_scanned", s.queries.scanned);
+  field("queries_compressed", s.queries.compressed);
   field("index_builds", s.queries.index_builds);
   field("latency_count", s.latency.count);
   field("p50_ms", s.latency.p50_ms);
@@ -129,7 +139,11 @@ EngineStats ComparisonEngine::stats() const {
           QueryStats{.indexed = counters_.indexed.load(std::memory_order_relaxed),
                      .scanned = counters_.scanned.load(std::memory_order_relaxed),
                      .index_builds =
-                         counters_.index_builds.load(std::memory_order_relaxed)},
+                         counters_.index_builds.load(std::memory_order_relaxed),
+                     .compressed =
+                         counters_.compressed.load(std::memory_order_relaxed),
+                     .blocks_decoded =
+                         counters_.blocks_decoded.load(std::memory_order_relaxed)},
       .latency = latency_.snapshot()};
 }
 

@@ -8,6 +8,14 @@
 #include <filesystem>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SEMILOCAL_HAVE_MMAP 1
+#endif
+
 namespace semilocal {
 
 namespace fs = std::filesystem;
@@ -24,6 +32,8 @@ const char* env_op_name(EnvOp op) {
       return "remove";
     case EnvOp::kList:
       return "list";
+    case EnvOp::kMap:
+      return "map";
   }
   return "unknown";
 }
@@ -35,6 +45,36 @@ std::string basename_of(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+#ifdef SEMILOCAL_HAVE_MMAP
+class RealMappedFile final : public MappedFile {
+ public:
+  RealMappedFile(void* addr, std::size_t length) : addr_(addr), length_(length) {
+    if (addr_ != nullptr) {
+      view_ = std::string_view(static_cast<const char*>(addr_), length_);
+    }
+  }
+  ~RealMappedFile() override {
+    if (addr_ != nullptr) ::munmap(addr_, length_);
+  }
+
+ private:
+  void* addr_;
+  std::size_t length_;
+};
+#endif
+
+/// A mapping backed by plain heap bytes: FaultyEnv's torn maps, and the
+/// empty-file case (mmap(2) rejects zero-length mappings).
+class HeapMappedFile final : public MappedFile {
+ public:
+  explicit HeapMappedFile(std::string bytes) : bytes_(std::move(bytes)) {
+    view_ = bytes_;
+  }
+
+ private:
+  std::string bytes_;
+};
+
 class RealEnv final : public Env {
  public:
   std::string read_file(const std::string& path) override {
@@ -44,6 +84,33 @@ class RealEnv final : public Env {
                      std::istreambuf_iterator<char>());
     if (in.bad()) throw EnvError("read_file: read failed on " + path);
     return data;
+  }
+
+  MappedFilePtr map_file(const std::string& path) override {
+#ifdef SEMILOCAL_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      throw EnvError("map_file: cannot open " + path + ": " + std::strerror(errno));
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      throw EnvError("map_file: cannot stat " + path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::make_shared<HeapMappedFile>(std::string());
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      throw EnvError("map_file: mmap failed on " + path + ": " + std::strerror(errno));
+    }
+    return std::make_shared<RealMappedFile>(addr, size);
+#else
+    throw EnvError("map_file: no mmap on this platform (" + path + ")");
+#endif
   }
 
   void write_file(const std::string& path, std::string_view data) override {
@@ -135,11 +202,15 @@ FaultyEnv::Fired FaultyEnv::arbitrate(EnvOp op, const std::string& path) {
     Fired fired;
     fired.fired = true;
     fired.short_write = op == EnvOp::kWrite ? rule.short_write_bytes : 0;
+    fired.torn_map = op == EnvOp::kMap ? rule.torn_map_bytes : 0;
     fired.message = "FaultyEnv: " + rule.message + " (" + std::string(env_op_name(op)) +
                     " " + basename_of(path) + ")";
     std::string detail = rule.message;
     if (fired.short_write > 0) {
       detail += " short_write=" + std::to_string(fired.short_write);
+    }
+    if (fired.torn_map > 0) {
+      detail += " torn_map=" + std::to_string(fired.torn_map);
     }
     events_.push_back(FaultEvent{.op_seq = seq,
                                  .rule = r,
@@ -155,6 +226,24 @@ std::string FaultyEnv::read_file(const std::string& path) {
   const Fired fired = arbitrate(EnvOp::kRead, path);
   if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
   return base_->read_file(path);
+}
+
+MappedFilePtr FaultyEnv::map_file(const std::string& path) {
+  const Fired fired = arbitrate(EnvOp::kMap, path);
+  if (!fired.fired) return base_->map_file(path);
+  if (fired.torn_map == 0) throw EnvError(fired.message, /*injected=*/true);
+  // A torn mapping: the map call "succeeds" but only the first torn_map
+  // bytes are real; the rest read as zeros, like pages whose backing write
+  // never reached disk. Served, not thrown -- the reader's checksums have
+  // to notice. The base read bypasses arbitrate() on purpose: it is part of
+  // this one injected map op, not a second env call, so traces stay
+  // byte-identical between runs.
+  std::string bytes = base_->read_file(path);
+  if (fired.torn_map < bytes.size()) {
+    std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(fired.torn_map),
+              bytes.end(), '\0');
+  }
+  return std::make_shared<HeapMappedFile>(std::move(bytes));
 }
 
 void FaultyEnv::write_file(const std::string& path, std::string_view data) {

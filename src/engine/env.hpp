@@ -19,13 +19,15 @@
 // fsync + close into one call whose failure modes (including the short write
 // that leaves a torn partial file behind) are exactly the ones the store's
 // temp-file + rename discipline must survive. Injectable ops are read /
-// write / rename / remove / list; exists() and create_dirs() are deliberately
-// non-throwing so constructors and cheap probes stay total under any plan.
+// write / rename / remove / list / map; exists() and create_dirs() are
+// deliberately non-throwing so constructors and cheap probes stay total
+// under any plan.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <stdexcept>
@@ -56,10 +58,30 @@ enum class EnvOp : std::uint8_t {
   kRename = 2,  ///< rename_file
   kRemove = 3,  ///< remove_file
   kList = 4,    ///< list_dir
+  kMap = 5,     ///< map_file (torn-mapping faults live here)
 };
 
 /// Stable lowercase name ("read", "write", ...) used in traces.
 const char* env_op_name(EnvOp op);
+
+/// A read-only view of a whole file's bytes. RealEnv backs it with mmap(2)
+/// and unmaps on destruction; FaultyEnv's torn variant is heap-backed. The
+/// view is immutable and valid exactly as long as the MappedFile lives, so
+/// holders (CompressedKernel entries) keep the shared_ptr as their owner.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  virtual ~MappedFile() = default;
+
+  [[nodiscard]] std::string_view view() const { return view_; }
+
+ protected:
+  std::string_view view_;
+};
+
+using MappedFilePtr = std::shared_ptr<const MappedFile>;
 
 class Env {
  public:
@@ -67,6 +89,11 @@ class Env {
 
   /// Whole-file read. Throws EnvError if the file is missing or unreadable.
   virtual std::string read_file(const std::string& path) = 0;
+
+  /// Read-only mapping of a whole file (mmap for RealEnv). Throws EnvError
+  /// if the file cannot be opened or mapped -- callers fall back to
+  /// read_file, which is why map failure is a distinct injectable fault.
+  virtual MappedFilePtr map_file(const std::string& path) = 0;
 
   /// Whole-file create-or-overwrite, flushed to the OS before returning
   /// (open + write + fsync + close as one op). Throws EnvError on failure;
@@ -120,6 +147,12 @@ struct FaultRule {
   /// 0 = fail before writing anything; a value in (0, size) leaves a torn
   /// partial file, like a short write whose return value went unchecked.
   std::size_t short_write_bytes = 0;
+  /// kMap only: 0 = the mapping itself fails (EnvError; callers fall back
+  /// to read_file). > 0 = the map "succeeds" but only the first
+  /// torn_map_bytes bytes are real and the rest read as zeros -- pages that
+  /// never made it to disk. Torn maps are served, not thrown: the reader's
+  /// checksums must catch them.
+  std::size_t torn_map_bytes = 0;
   /// Carried into the EnvError message and the trace.
   std::string message = "injected fault";
 };
@@ -149,6 +182,7 @@ class FaultyEnv : public Env {
   explicit FaultyEnv(FaultPlan plan, Env* base = nullptr);
 
   std::string read_file(const std::string& path) override;
+  MappedFilePtr map_file(const std::string& path) override;
   void write_file(const std::string& path, std::string_view data) override;
   void rename_file(const std::string& from, const std::string& to) override;
   void remove_file(const std::string& path) override;
@@ -170,6 +204,7 @@ class FaultyEnv : public Env {
   struct Fired {
     bool fired = false;
     std::size_t short_write = 0;  ///< kWrite: partial bytes to tear first
+    std::size_t torn_map = 0;     ///< kMap: intact prefix of a torn mapping
     std::string message;
   };
 

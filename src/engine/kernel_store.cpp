@@ -1,8 +1,10 @@
 #include "engine/kernel_store.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "core/kernel_codec.hpp"
 #include "core/serialize.hpp"
 
 namespace semilocal {
@@ -10,7 +12,8 @@ namespace semilocal {
 KernelStore::KernelStore(KernelStoreOptions options)
     : options_(std::move(options)),
       env_(options_.env ? options_.env : &real_env()),
-      cache_(options_.cache_bytes) {
+      cache_(options_.cache_bytes),
+      blocks_decoded_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
   if (options_.dir.empty()) return;
   env_->create_dirs(options_.dir);  // failure degrades to write failures later
   sweep_orphan_tmps();
@@ -67,40 +70,101 @@ void KernelStore::quarantine(const std::string& path) {
 }
 
 CachedKernelPtr KernelStore::find(const PairKey& key) {
+  CachedKernelPtr hot;
   {
     std::lock_guard lock(mutex_);
-    if (CachedKernelPtr hit = cache_.get(key)) return hit;
+    if (CachedKernelPtr hit = cache_.get(key)) {
+      if (!hit->is_compressed() || options_.promote_after_hits < 0) return hit;
+      if (static_cast<int>(hit->touch()) < options_.promote_after_hits) {
+        return hit;
+      }
+      // Hot enough to promote -- but only while the decoded tier has
+      // headroom; a denied candidate keeps serving compressed (and will be
+      // re-considered on its next hit).
+      const std::size_t full = decoded_entry_bytes(hit->order());
+      const auto cap = static_cast<std::size_t>(
+          options_.promoted_fraction * static_cast<double>(options_.cache_bytes));
+      if (cache_.decoded_bytes() + full > cap) return hit;
+      hot = std::move(hit);
+    }
   }
+  if (hot) return promote(key, hot);
   if (options_.dir.empty()) return nullptr;
+  return load_from_disk(key);
+}
+
+CachedKernelPtr KernelStore::promote(const PairKey& key,
+                                     const CachedKernelPtr& entry) {
+  // The full decode runs outside the lock (concurrent promoters of one key
+  // are idempotent: last put wins, both produce the same kernel). The
+  // compressed entry's lazy decode does the work and keeps serving in-flight
+  // readers; the cache slot is then recharged at the decoded size.
+  auto promoted = std::make_shared<const CachedKernel>(entry->kernel_ptr());
+  std::lock_guard lock(mutex_);
+  ++promotions_;
+  cache_.put(key, promoted);
+  return promoted;
+}
+
+CachedKernelPtr KernelStore::load_from_disk(const PairKey& key) {
   const std::string path = path_for(key);
   if (!env_->exists(path)) return nullptr;
-  std::string bytes;
-  try {
-    bytes = env_->read_file(path);
-  } catch (const EnvError&) {
-    // Transient read failure: degrade to a miss (the caller recomputes) but
-    // leave the file alone -- it may be perfectly healthy.
-    std::lock_guard lock(mutex_);
-    ++disk_errors_;
-    return nullptr;
+  MappedFilePtr map;
+  std::string owned;
+  std::string_view bytes;
+  if (options_.mmap_reads) {
+    try {
+      map = env_->map_file(path);
+      bytes = map->view();
+    } catch (const EnvError&) {
+      std::lock_guard lock(mutex_);
+      ++mmap_fallbacks_;
+    }
   }
-  KernelPtr loaded;
-  try {
-    loaded = std::make_shared<const SemiLocalKernel>(load_kernel_bytes(bytes));
-  } catch (const std::exception&) {
-    quarantine(path);
-    return nullptr;
+  if (!map) {
+    try {
+      owned = env_->read_file(path);
+      bytes = owned;
+    } catch (const EnvError&) {
+      // Transient read failure: degrade to a miss (the caller recomputes)
+      // but leave the file alone -- it may be perfectly healthy.
+      std::lock_guard lock(mutex_);
+      ++disk_errors_;
+      return nullptr;
+    }
   }
   // Cheap sanity check that the file really is the kernel of this pair's
   // lengths; a content-hash filename collision across sizes cannot happen
   // (lengths are part of the key), so a mismatch means a foreign file.
-  if (loaded->m() != key.len_a || loaded->n() != key.len_b) {
+  // Corrupt and foreign files are both quarantined.
+  CachedKernelPtr entry;
+  bool compressed = false;
+  try {
+    if (kernel_format_version(bytes) == kKernelFormatV3) {
+      // open() validates every checksum up front, so a torn mapping is
+      // caught here -- decoding later cannot fail on corruption.
+      CompressedKernelPtr blob =
+          map ? CompressedKernel::open(bytes, map)
+              : CompressedKernel::open(std::move(owned));
+      if (blob->m() != key.len_a || blob->n() != key.len_b) {
+        throw std::runtime_error("kernel dimensions do not match the key");
+      }
+      entry = std::make_shared<const CachedKernel>(std::move(blob), blocks_decoded_);
+      compressed = true;
+    } else {
+      auto loaded = std::make_shared<const SemiLocalKernel>(load_kernel_bytes(bytes));
+      if (loaded->m() != key.len_a || loaded->n() != key.len_b) {
+        throw std::runtime_error("kernel dimensions do not match the key");
+      }
+      entry = std::make_shared<const CachedKernel>(std::move(loaded));
+    }
+  } catch (const std::exception&) {
     quarantine(path);
     return nullptr;
   }
-  auto entry = std::make_shared<const CachedKernel>(std::move(loaded));
   std::lock_guard lock(mutex_);
   ++disk_hits_;
+  if (compressed) ++compressed_loads_;
   cache_.put(key, entry);
   return entry;
 }
@@ -116,8 +180,9 @@ bool KernelStore::persist_one(const PairKey& key, const CachedKernel& entry) {
     std::lock_guard lock(mutex_);
     tmp = path + ".tmp" + std::to_string(tmp_serial_++);
   }
+  const std::string bytes = save_kernel_bytes(entry.kernel(), options_.format);
   try {
-    env_->write_file(tmp, save_kernel_bytes(entry.kernel()));
+    env_->write_file(tmp, bytes);
     env_->rename_file(tmp, path);
   } catch (const EnvError&) {
     try {
@@ -126,6 +191,9 @@ bool KernelStore::persist_one(const PairKey& key, const CachedKernel& entry) {
     }
     return false;
   }
+  std::lock_guard lock(mutex_);
+  bytes_on_disk_ += bytes.size();
+  bytes_on_disk_raw_ += kernel_v2_encoded_bytes(entry.order());
   return true;
 }
 
@@ -192,14 +260,21 @@ bool KernelStore::on_disk(const PairKey& key) const {
 
 KernelStoreStats KernelStore::stats() const {
   std::lock_guard lock(mutex_);
-  return KernelStoreStats{.cache = cache_.stats(),
-                          .disk_hits = disk_hits_,
-                          .disk_errors = disk_errors_,
-                          .disk_writes = disk_writes_,
-                          .write_failures = write_failures_,
-                          .quarantined = quarantined_,
-                          .tmp_swept = tmp_swept_,
-                          .pending_persists = pending_.size()};
+  return KernelStoreStats{
+      .cache = cache_.stats(),
+      .disk_hits = disk_hits_,
+      .disk_errors = disk_errors_,
+      .disk_writes = disk_writes_,
+      .write_failures = write_failures_,
+      .quarantined = quarantined_,
+      .tmp_swept = tmp_swept_,
+      .pending_persists = pending_.size(),
+      .mmap_fallbacks = mmap_fallbacks_,
+      .compressed_loads = compressed_loads_,
+      .promotions = promotions_,
+      .blocks_decoded = blocks_decoded_->load(std::memory_order_relaxed),
+      .bytes_on_disk = bytes_on_disk_,
+      .bytes_on_disk_raw = bytes_on_disk_raw_};
 }
 
 }  // namespace semilocal

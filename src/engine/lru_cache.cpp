@@ -2,10 +2,13 @@
 
 namespace semilocal {
 
-std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel) {
-  const auto order = static_cast<std::size_t>(kernel.order());
+std::size_t kernel_resident_bytes(Index order) {
   // row_to_col + col_to_row entries, plus object/bookkeeping overhead.
-  return 2 * order * sizeof(Permutation::Entry) + 128;
+  return 2 * static_cast<std::size_t>(order) * sizeof(Permutation::Entry) + 128;
+}
+
+std::size_t decoded_entry_bytes(Index order) {
+  return kernel_resident_bytes(order) + QueryIndex::projected_bytes(order);
 }
 
 CachedKernelPtr LruKernelCache::get(const PairKey& key) {
@@ -22,17 +25,27 @@ CachedKernelPtr LruKernelCache::get(const PairKey& key) {
 void LruKernelCache::put(const PairKey& key, CachedKernelPtr entry) {
   if (!entry) return;
   const std::size_t bytes = entry->resident_bytes();
+  const bool compressed = entry->is_compressed();
   if (bytes > budget_) return;  // would evict everything and still not fit
   if (const auto it = index_.find(key); it != index_.end()) {
-    bytes_ -= it->second->bytes;
-    bytes_ += bytes;
-    it->second->value = std::move(entry);
-    it->second->bytes = bytes;
+    Entry& slot = *it->second;
+    bytes_ -= slot.bytes;
+    if (slot.compressed) {
+      compressed_bytes_ -= slot.bytes;
+      --compressed_entries_;
+    }
+    slot.value = std::move(entry);
+    slot.bytes = bytes;
+    slot.compressed = compressed;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(entry), bytes});
+    lru_.push_front(Entry{key, std::move(entry), bytes, compressed});
     index_.emplace(key, lru_.begin());
-    bytes_ += bytes;
+  }
+  bytes_ += bytes;
+  if (compressed) {
+    compressed_bytes_ += bytes;
+    ++compressed_entries_;
   }
   evict_to_budget();
 }
@@ -41,6 +54,10 @@ void LruKernelCache::evict_to_budget() {
   while (bytes_ > budget_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     bytes_ -= victim.bytes;
+    if (victim.compressed) {
+      compressed_bytes_ -= victim.bytes;
+      --compressed_entries_;
+    }
     index_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
@@ -53,7 +70,9 @@ LruCacheStats LruKernelCache::stats() const {
                        .evictions = evictions_,
                        .entries = lru_.size(),
                        .bytes = bytes_,
-                       .budget_bytes = budget_};
+                       .budget_bytes = budget_,
+                       .compressed_entries = compressed_entries_,
+                       .compressed_bytes = compressed_bytes_};
 }
 
 }  // namespace semilocal

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "core/kernel.hpp"
+#include "core/kernel_codec.hpp"
 #include "core/query_index.hpp"
 #include "engine/key.hpp"
 
@@ -29,34 +30,69 @@ namespace semilocal {
 /// Shared ownership handle for a bare kernel.
 using KernelPtr = std::shared_ptr<const SemiLocalKernel>;
 
-/// Approximate resident bytes of a bare kernel: the two permutation maps
-/// plus a fixed object overhead (index not included; see CachedKernel).
-std::size_t kernel_resident_bytes(const SemiLocalKernel& kernel);
+/// Approximate resident bytes of a bare kernel of this order: the two
+/// permutation maps plus a fixed object overhead (index not included; see
+/// CachedKernel).
+std::size_t kernel_resident_bytes(Index order);
 
-/// A kernel plus its shared immutable query index.
+/// Projected cache charge of a *decoded* entry of this order: kernel plus
+/// its (projected) query index. What a compressed entry would cost after
+/// promotion -- the store's promotion-headroom check uses this.
+std::size_t decoded_entry_bytes(Index order);
+
+/// A cached kernel in one of two residency tiers.
 ///
-/// The index is built exactly once -- eagerly by a scheduler worker right
-/// after the kernel computation, or lazily on first query via std::call_once
-/// (disk hits, workers = 0 drain mode). After the build every reader gets it
+/// Decoded tier: the kernel plus its shared immutable query index, built
+/// exactly once -- eagerly by a scheduler worker right after the kernel
+/// computation, or lazily on first query via std::call_once -- and then read
 /// lock-free: index_if_built() is a single acquire load, and index() after
-/// completion is std::call_once's fast path. The object is immutable from
-/// the readers' point of view, so one entry may serve any number of
-/// connection threads concurrently.
+/// completion is std::call_once's fast path.
+///
+/// Compressed tier (disk hits under format v3): the entry holds only the
+/// validated CompressedKernel and is charged its compressed bytes, so the
+/// LRU budget measures real memory and holds several times more pairs.
+/// Queries stream individual blocks (engine/query.cpp routes them);
+/// kernel() / index() still work -- they decode the whole kernel once, on
+/// demand -- so explicit-API callers never see the tier. The cache charge
+/// deliberately stays at the compressed size until the store *promotes* the
+/// entry (replaces it with a decoded one) under its promotion policy.
+///
+/// Immutable from the readers' point of view, so one entry may serve any
+/// number of connection threads concurrently.
 class CachedKernel {
  public:
   explicit CachedKernel(KernelPtr kernel) : kernel_(std::move(kernel)) {}
+  /// Compressed-resident entry. `decoded_blocks` (optional, shared so it
+  /// survives the store) is bumped per block if a full decode happens.
+  explicit CachedKernel(
+      CompressedKernelPtr blob,
+      std::shared_ptr<std::atomic<std::uint64_t>> decoded_blocks = nullptr)
+      : blob_(std::move(blob)), decoded_blocks_(std::move(decoded_blocks)) {}
   CachedKernel(const CachedKernel&) = delete;
   CachedKernel& operator=(const CachedKernel&) = delete;
 
-  [[nodiscard]] const SemiLocalKernel& kernel() const { return *kernel_; }
-  [[nodiscard]] const KernelPtr& kernel_ptr() const { return kernel_; }
+  [[nodiscard]] bool is_compressed() const { return blob_ != nullptr; }
+  /// The compressed form, nullptr for decoded-tier entries.
+  [[nodiscard]] const CompressedKernel* compressed() const { return blob_.get(); }
+
+  /// Dimensions without forcing a decode.
+  [[nodiscard]] Index m() const { return blob_ ? blob_->m() : kernel_->m(); }
+  [[nodiscard]] Index n() const { return blob_ ? blob_->n() : kernel_->n(); }
+  [[nodiscard]] Index order() const { return m() + n(); }
+
+  /// The decoded kernel; for a compressed entry this decodes all blocks
+  /// exactly once (thread-safe) and keeps the result for the entry's
+  /// lifetime. The cache charge is not revisited -- promotion is the store's
+  /// job.
+  [[nodiscard]] const SemiLocalKernel& kernel() const { return *ensure_kernel(); }
+  [[nodiscard]] const KernelPtr& kernel_ptr() const { return ensure_kernel(); }
 
   /// The query index, building it if this is the first call (thread-safe;
   /// concurrent callers block until the one build finishes). `builds`
   /// (optional) is incremented iff this call performed the build.
   const QueryIndex& index(std::atomic<std::uint64_t>* builds = nullptr) const {
     std::call_once(index_once_, [this, builds] {
-      index_ = std::make_unique<const QueryIndex>(*kernel_);
+      index_ = std::make_unique<const QueryIndex>(kernel());
       index_ready_.store(index_.get(), std::memory_order_release);
       if (builds) builds->fetch_add(1, std::memory_order_relaxed);
     });
@@ -68,14 +104,35 @@ class CachedKernel {
     return index_ready_.load(std::memory_order_acquire);
   }
 
-  /// Bytes this entry pins in the cache: kernel + (projected) index.
+  /// Cache-hit counter feeding the store's promotion threshold. Returns the
+  /// new count.
+  std::uint32_t touch() const {
+    return find_hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Bytes this entry pins in the cache: compressed bytes for the
+  /// compressed tier, kernel + (projected) index for the decoded tier.
   [[nodiscard]] std::size_t resident_bytes() const {
-    return kernel_resident_bytes(*kernel_) +
-           QueryIndex::projected_bytes(kernel_->order());
+    if (blob_) return blob_->encoded_bytes() + 128;
+    return decoded_entry_bytes(kernel_->order());
   }
 
  private:
-  KernelPtr kernel_;
+  const KernelPtr& ensure_kernel() const {
+    if (blob_) {
+      std::call_once(kernel_once_, [this] {
+        kernel_ = std::make_shared<const SemiLocalKernel>(
+            blob_->decode(decoded_blocks_ ? decoded_blocks_.get() : nullptr));
+      });
+    }
+    return kernel_;
+  }
+
+  CompressedKernelPtr blob_;
+  std::shared_ptr<std::atomic<std::uint64_t>> decoded_blocks_;
+  mutable std::once_flag kernel_once_;
+  mutable KernelPtr kernel_;
+  mutable std::atomic<std::uint32_t> find_hits_{0};
   mutable std::once_flag index_once_;
   mutable std::unique_ptr<const QueryIndex> index_;
   mutable std::atomic<const QueryIndex*> index_ready_{nullptr};
@@ -92,6 +149,8 @@ struct LruCacheStats {
   std::size_t entries = 0;
   std::size_t bytes = 0;
   std::size_t budget_bytes = 0;
+  std::size_t compressed_entries = 0;  ///< entries still in the compressed tier
+  std::size_t compressed_bytes = 0;    ///< their share of `bytes`
 };
 
 class LruKernelCache {
@@ -109,17 +168,26 @@ class LruKernelCache {
 
   [[nodiscard]] LruCacheStats stats() const;
 
+  /// Bytes held by decoded-tier entries; the store's promotion budget is a
+  /// cap on this.
+  [[nodiscard]] std::size_t decoded_bytes() const {
+    return bytes_ - compressed_bytes_;
+  }
+
  private:
   struct Entry {
     PairKey key;
     CachedKernelPtr value;
     std::size_t bytes = 0;
+    bool compressed = false;
   };
 
   void evict_to_budget();
 
   std::size_t budget_;
   std::size_t bytes_ = 0;
+  std::size_t compressed_bytes_ = 0;
+  std::size_t compressed_entries_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -30,6 +30,18 @@ HQuery lower_window(Index m, Index n, const WindowQuery& w) {
   throw std::invalid_argument("answer_query_batch: unknown query kind");
 }
 
+// Answers one lowered query off a compressed-resident entry by streaming
+// blocks. Chosen over the indexed/scan paths for compressed entries: both of
+// those would force a full decode (and the index additionally a build) for
+// an entry the store deliberately kept small.
+Index compressed_answer(const CompressedKernel& blob, const HQuery& q,
+                        QueryCounters* counters) {
+  const Index sigma =
+      blob.sigma(q.i, q.j, counters ? &counters->blocks_decoded : nullptr);
+  if (counters) counters->compressed.fetch_add(1, std::memory_order_relaxed);
+  return h_from_sigma(blob.m(), q.i, q.j, sigma) - q.correction;
+}
+
 }  // namespace
 
 Index kernel_lcs(const SemiLocalKernel& kernel) {
@@ -46,6 +58,11 @@ Index kernel_substring_string(const SemiLocalKernel& kernel, Index i0, Index i1)
 
 Index answer_query(const CachedKernel& entry, QueryKind kind, Index x, Index y,
                    bool use_index, QueryCounters* counters) {
+  if (entry.is_compressed() && entry.index_if_built() == nullptr) {
+    return compressed_answer(*entry.compressed(),
+                             lower_window(entry.m(), entry.n(), {kind, x, y}),
+                             counters);
+  }
   if (use_index) {
     const QueryIndex& index =
         entry.index(counters ? &counters->index_builds : nullptr);
@@ -76,6 +93,14 @@ void answer_query_batch(const CachedKernel& entry, const WindowQuery* windows,
                         Index* out, std::size_t count, bool use_index,
                         QueryCounters* counters) {
   if (count == 0) return;
+  if (entry.is_compressed() && entry.index_if_built() == nullptr) {
+    const CompressedKernel& blob = *entry.compressed();
+    for (std::size_t t = 0; t < count; ++t) {
+      out[t] = compressed_answer(
+          blob, lower_window(blob.m(), blob.n(), windows[t]), counters);
+    }
+    return;
+  }
   if (use_index) {
     const QueryIndex& index =
         entry.index(counters ? &counters->index_builds : nullptr);

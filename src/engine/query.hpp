@@ -1,18 +1,22 @@
 // Thread-safe queries over shared cached kernels.
 //
-// Two interchangeable answer paths, both safe for any number of threads on
+// Three interchangeable answer paths, all safe for any number of threads on
 // one shared kernel:
 //
 //   * Indexed (the warm serving path): O(log n) dominance counts through the
 //     entry's shared immutable QueryIndex, built exactly once (eagerly by a
 //     scheduler worker, or lazily via std::call_once) and then read
 //     lock-free.
+//   * Compressed (compressed-resident entries): the dominance count streamed
+//     block-by-block off the entry's CompressedKernel -- O(m + n) work like
+//     the scan but touching only compressed bytes plus one block's scratch,
+//     so cold-tail entries answer without ever being decoded in full.
 //   * Scan (the fallback): the stateless O(m + n) dominance scan on the
 //     immutable permutation -- no hidden state, no synchronization, and for
 //     a one-shot query cheaper than building any structure.
 //
 // answer_query() routes between them and feeds the queries_indexed /
-// queries_scanned / index_builds counter triple the stats endpoint surfaces.
+// queries_scanned / queries_compressed counters the stats endpoint surfaces.
 // All coordinate formulas come from core/query_formulas.hpp, the same header
 // SemiLocalKernel itself uses (Definition 3.2 / 3.3 of the paper).
 #pragma once
@@ -46,11 +50,13 @@ enum class QueryKind : std::uint8_t {
   kSubstringString = 2,  ///< LCS(a[x, y), b)
 };
 
-/// The counter triple surfaced through the JSON stats endpoint.
+/// The counters surfaced through the JSON stats endpoint.
 struct QueryCounters {
   std::atomic<std::uint64_t> indexed{0};       ///< queries answered via QueryIndex
   std::atomic<std::uint64_t> scanned{0};       ///< queries answered via the O(m+n) scan
   std::atomic<std::uint64_t> index_builds{0};  ///< QueryIndex constructions
+  std::atomic<std::uint64_t> compressed{0};    ///< queries streamed off v3 blocks
+  std::atomic<std::uint64_t> blocks_decoded{0};  ///< v3 blocks decoded by queries
 };
 
 /// Plain-value snapshot of QueryCounters for EngineStats.
@@ -58,6 +64,8 @@ struct QueryStats {
   std::uint64_t indexed = 0;
   std::uint64_t scanned = 0;
   std::uint64_t index_builds = 0;
+  std::uint64_t compressed = 0;
+  std::uint64_t blocks_decoded = 0;
 };
 
 /// One window of a batched query: a query kind plus its two window

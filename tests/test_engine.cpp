@@ -123,6 +123,96 @@ TEST(KernelStore, DiskTierSurvivesProcessRestart) {
   EXPECT_EQ(store.stats().disk_hits, 1u);
 }
 
+TEST(KernelStore, DiskHitsComeBackCompressedAndPromoteWhenHot) {
+  ScratchDir dir("store_tiers");
+  const auto a = testing::random_string(600, 4, 3);
+  const auto b = testing::random_string(640, 4, 4);
+  const PairKey key = make_pair_key(a, b);
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  options.promote_after_hits = 2;
+  {
+    KernelStore warm(options);
+    warm.put(key, std::make_shared<const CachedKernel>(
+                      std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b))));
+  }
+  KernelStore store(options);
+  const CachedKernelPtr loaded = store.find(key);
+  ASSERT_NE(loaded, nullptr);
+  // The v3 disk hit lands compressed-resident, charged far below the
+  // decoded footprint, and still answers queries correctly by streaming.
+  EXPECT_TRUE(loaded->is_compressed());
+  EXPECT_EQ(store.stats().compressed_loads, 1u);
+  EXPECT_EQ(store.stats().cache.compressed_entries, 1u);
+  EXPECT_LT(store.stats().cache.compressed_bytes,
+            kernel_resident_bytes(loaded->order()) / 2);
+  QueryCounters counters;
+  EXPECT_EQ(answer_query(*loaded, QueryKind::kLcs, 0, 0, /*use_index=*/true,
+                         &counters),
+            testing::lcs_oracle(a, b));
+  EXPECT_EQ(counters.compressed.load(), 1u);
+  EXPECT_GT(counters.blocks_decoded.load(), 0u);
+  // Hits 1 and 2 keep serving compressed; hit 2 crosses the threshold and
+  // the entry is promoted to the decoded tier.
+  ASSERT_NE(store.find(key), nullptr);
+  EXPECT_EQ(store.stats().promotions, 0u);
+  const CachedKernelPtr hot = store.find(key);
+  ASSERT_NE(hot, nullptr);
+  EXPECT_FALSE(hot->is_compressed());
+  EXPECT_EQ(store.stats().promotions, 1u);
+  EXPECT_EQ(store.stats().cache.compressed_entries, 0u);
+  EXPECT_GE(store.stats().cache.bytes, kernel_resident_bytes(hot->order()));
+  EXPECT_GT(store.stats().blocks_decoded, 0u);  // the promotion's full decode
+  // Promoted answers match the compressed-path answers.
+  EXPECT_EQ(answer_query(*hot, QueryKind::kLcs, 0, 0, /*use_index=*/true),
+            testing::lcs_oracle(a, b));
+}
+
+TEST(KernelStore, PromotionRespectsDecodedTierHeadroom) {
+  ScratchDir dir("store_headroom");
+  const auto a = testing::random_string(600, 4, 5);
+  const auto b = testing::random_string(640, 4, 6);
+  const PairKey key = make_pair_key(a, b);
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  options.promote_after_hits = 1;
+  options.promoted_fraction = 0.0;  // no decoded-tier budget at all
+  {
+    KernelStore warm(options);
+    warm.put(key, std::make_shared<const CachedKernel>(
+                      std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b))));
+  }
+  KernelStore store(options);
+  ASSERT_NE(store.find(key), nullptr);
+  for (int hit = 0; hit < 4; ++hit) {
+    const CachedKernelPtr entry = store.find(key);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->is_compressed()) << "hit " << hit;
+  }
+  EXPECT_EQ(store.stats().promotions, 0u);
+}
+
+TEST(KernelStore, RawFormatOptionKeepsEntriesDecoded) {
+  ScratchDir dir("store_v2_opt");
+  const auto a = testing::random_string(50, 4, 7);
+  const auto b = testing::random_string(44, 4, 8);
+  const PairKey key = make_pair_key(a, b);
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  options.format = KernelFormat::kV2Raw;
+  {
+    KernelStore warm(options);
+    warm.put(key, std::make_shared<const CachedKernel>(
+                      std::make_shared<const SemiLocalKernel>(semi_local_kernel(a, b))));
+  }
+  KernelStore store(options);
+  const CachedKernelPtr loaded = store.find(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(loaded->is_compressed());
+  EXPECT_EQ(store.stats().compressed_loads, 0u);
+  EXPECT_DOUBLE_EQ(store.stats().compression_ratio(), 1.0);
+}
+
 TEST(KernelStore, CorruptFileIsAMissNotACrash) {
   ScratchDir dir("store_corrupt");
   const PairKey key = key_for(7);

@@ -291,6 +291,9 @@ TEST(Degradation, ReadFaultDegradesToMissWithoutQuarantine) {
   const PairKey key = make_pair_key(a, b);
   save_kernel_file(dir.file(key.hex() + ".slk"), semi_local_kernel(a, b));
   FaultPlan plan;
+  // A disk hit tries map_file first and falls back to read_file, so a truly
+  // transient outage needs both to fail once.
+  plan.rules.push_back(fault_rule(EnvOp::kMap, /*skip=*/0, /*count=*/1));
   plan.rules.push_back(fault_rule(EnvOp::kRead, /*skip=*/0, /*count=*/1));
   FaultyEnv env(plan);
   KernelStoreOptions options;
@@ -300,10 +303,80 @@ TEST(Degradation, ReadFaultDegradesToMissWithoutQuarantine) {
   // Transient read failure: a miss, but the healthy file must survive.
   EXPECT_EQ(store.find(key), nullptr);
   EXPECT_EQ(store.stats().disk_errors, 1u);
+  EXPECT_EQ(store.stats().mmap_fallbacks, 1u);
   EXPECT_EQ(store.stats().quarantined, 0u);
   // Fault window over: the same file loads fine.
   ASSERT_NE(store.find(key), nullptr);
   EXPECT_EQ(store.stats().disk_hits, 1u);
+}
+
+TEST(FaultyEnv, TornMapServesPrefixThenZeros) {
+  ScratchDir dir;
+  real_env().write_file(dir.file("t"), "0123456789");
+  FaultPlan plan;
+  FaultRule torn = fault_rule(EnvOp::kMap);
+  torn.torn_map_bytes = 4;
+  plan.rules.push_back(torn);
+  FaultyEnv env(plan);
+  const MappedFilePtr map = env.map_file(dir.file("t"));
+  EXPECT_EQ(map->view(), std::string_view("0123\0\0\0\0\0\0", 10));
+  EXPECT_NE(env.trace_text().find("torn_map=4"), std::string::npos);
+}
+
+/// A failed map falls back to the whole-file read: still a disk hit, no
+/// disk error, just a counted fallback.
+TEST(Degradation, MapFaultFailsOverToWholeFileRead) {
+  ScratchDir dir;
+  const auto a = testing::random_string(26, 4, 53);
+  const auto b = testing::random_string(31, 4, 54);
+  const PairKey key = make_pair_key(a, b);
+  save_kernel_file(dir.file(key.hex() + ".slk"), semi_local_kernel(a, b));
+  FaultPlan plan;
+  plan.rules.push_back(fault_rule(EnvOp::kMap));  // every map fails
+  FaultyEnv env(plan);
+  KernelStoreOptions options;
+  options.dir = dir.str();
+  options.env = &env;
+  KernelStore store(options);
+  const CachedKernelPtr entry = store.find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(answer_query(*entry, QueryKind::kLcs, 0, 0, /*use_index=*/true),
+            testing::lcs_oracle(a, b));
+  const KernelStoreStats stats = store.stats();
+  EXPECT_EQ(stats.mmap_fallbacks, 1u);
+  EXPECT_EQ(stats.disk_hits, 1u);
+  EXPECT_EQ(stats.disk_errors, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+/// A torn mapping -- the map "succeeds" but the tail reads as zeros -- must
+/// be caught by the v3 per-block checksums at open, quarantined, and the
+/// kernel recomputed. Serving a wrong answer is the one forbidden outcome.
+TEST(Degradation, TornMappingIsQuarantinedAndRecomputed) {
+  ScratchDir dir;
+  const auto a = testing::random_string(64, 4, 55);
+  const auto b = testing::random_string(60, 4, 56);
+  const PairKey key = make_pair_key(a, b);
+  const std::string path = dir.file(key.hex() + ".slk");
+  save_kernel_file(path, semi_local_kernel(a, b));
+  const std::size_t file_size = fs::file_size(path);
+  FaultPlan plan;
+  FaultRule torn = fault_rule(EnvOp::kMap, /*skip=*/0, /*count=*/1);
+  torn.torn_map_bytes = file_size / 2;  // header intact, payload tail zeroed
+  plan.rules.push_back(torn);
+  FaultyEnv env(plan);
+  ComparisonEngine engine(faulty_drain_engine(dir.str(), &env));
+  EXPECT_EQ(engine_lcs(engine, a, b), testing::lcs_oracle(a, b));
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.store.quarantined, 1u);
+  EXPECT_EQ(stats.scheduler.computed, 1u);  // recomputed past the torn map
+  EXPECT_EQ(stats.store.mmap_fallbacks, 0u);  // the map "worked"
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  // The recomputed kernel was persisted and reloads cleanly cold.
+  KernelStoreOptions cold;
+  cold.dir = dir.str();
+  KernelStore reload(cold);
+  ASSERT_NE(reload.find(key), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -377,9 +450,9 @@ FaultPlan random_plan(std::uint64_t seed) {
   const int nrules = static_cast<int>(rng.uniform(1, 4));
   for (int r = 0; r < nrules; ++r) {
     FaultRule rule;
-    constexpr EnvOp kOps[] = {EnvOp::kRead, EnvOp::kWrite, EnvOp::kRename,
-                              EnvOp::kRemove, EnvOp::kList};
-    rule.op = kOps[rng.uniform(0, 4)];
+    constexpr EnvOp kOps[] = {EnvOp::kRead,   EnvOp::kWrite, EnvOp::kRename,
+                              EnvOp::kRemove, EnvOp::kList,  EnvOp::kMap};
+    rule.op = kOps[rng.uniform(0, 5)];
     switch (rng.uniform(0, 2)) {
       case 0:
         rule.path_substring = "";
@@ -402,6 +475,11 @@ FaultPlan random_plan(std::uint64_t seed) {
     }
     if (rule.op == EnvOp::kWrite && rng.bernoulli(0.5)) {
       rule.short_write_bytes = static_cast<std::size_t>(rng.uniform(1, 64));
+    }
+    // Half the map faults serve a torn prefix instead of failing outright;
+    // the torn ones must end in quarantine + recompute, never a wrong answer.
+    if (rule.op == EnvOp::kMap && rng.bernoulli(0.5)) {
+      rule.torn_map_bytes = static_cast<std::size_t>(rng.uniform(1, 96));
     }
     rule.message = "seed" + std::to_string(seed) + "/r" + std::to_string(r);
     plan.rules.push_back(std::move(rule));

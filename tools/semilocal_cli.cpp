@@ -22,14 +22,26 @@
 //   braid <stringA> <stringB>
 //       Renders the combing grid, the kernel matrix and the strand wiring
 //       (small inputs; teaching/debugging aid).
+//   store migrate <dir>
+//       Rewrites every v2 (raw) kernel in a store directory as v3
+//       (block-compressed), in place via temp-and-rename. Resumable:
+//       already-v3 files are skipped, so an interrupted run just re-runs.
+//   store stat <dir>
+//       Per-format file counts, on-disk bytes, and the compression ratio
+//       against the raw v2 encoding.
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "align/distance.hpp"
 #include "search/dotplot.hpp"
 #include "core/api.hpp"
 #include "core/braid_render.hpp"
+#include "core/kernel_codec.hpp"
 #include "core/serialize.hpp"
 #include "engine/corpus.hpp"
 #include "util/cli.hpp"
@@ -52,7 +64,9 @@ int usage() {
       "             [--cache-mb N]\n"
       "  generate [--length N] [--gc F] [--pair] [--seed S] [--out PATH]\n"
       "  dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]\n"
-      "  braid <stringA> <stringB>\n";
+      "  braid <stringA> <stringB>\n"
+      "  store migrate <dir>     (rewrite v2 kernels as compressed v3, in place)\n"
+      "  store stat <dir>        (per-format counts, bytes, compression ratio)\n";
   return 2;
 }
 
@@ -242,6 +256,122 @@ int cmd_braid(const CliArgs& args) {
   return 0;
 }
 
+std::string slurp_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// The store's kernel files, sorted for deterministic reports. Quarantined
+/// poison (`.slk.quarantined`) and writer temp files (`.slk.tmpN`) are not
+/// kernels and are skipped.
+std::vector<std::filesystem::path> store_kernel_files(const std::string& dir) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".slk") continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_store_migrate(const std::string& dir) {
+  std::size_t migrated = 0;
+  std::size_t skipped = 0;
+  std::size_t failed = 0;
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+  for (const auto& path : store_kernel_files(dir)) {
+    try {
+      const std::string bytes = slurp_file(path);
+      if (kernel_format_version(bytes) == kKernelFormatV3) {
+        ++skipped;  // resumable: an interrupted migration just re-runs
+        bytes_before += bytes.size();
+        bytes_after += bytes.size();
+        continue;
+      }
+      const SemiLocalKernel kernel = load_kernel_bytes(bytes);
+      const std::string encoded = save_kernel_bytes(kernel, KernelFormat::kV3Compressed);
+      // Temp-and-rename so a crash mid-write never leaves a torn kernel at
+      // the serving path; readers see the old file or the new one, whole.
+      const std::filesystem::path tmp = path.string() + ".migrate.tmp";
+      {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()))) {
+          throw std::runtime_error("short write to " + tmp.string());
+        }
+      }
+      std::filesystem::rename(tmp, path);
+      ++migrated;
+      bytes_before += bytes.size();
+      bytes_after += encoded.size();
+    } catch (const std::exception& e) {
+      ++failed;
+      std::cerr << "semilocal_cli: " << path.string() << ": " << e.what() << "\n";
+    }
+  }
+  std::cout << migrated << " migrated, " << skipped << " already v3, " << failed
+            << " failed\n";
+  if (bytes_after > 0) {
+    std::cout << bytes_before << " -> " << bytes_after << " bytes ("
+              << static_cast<double>(bytes_before) / static_cast<double>(bytes_after)
+              << "x)\n";
+  }
+  return failed > 0 ? 1 : 0;
+}
+
+int cmd_store_stat(const std::string& dir) {
+  std::size_t v2_files = 0;
+  std::size_t v3_files = 0;
+  std::size_t other_files = 0;
+  std::size_t bytes_on_disk = 0;
+  std::size_t raw_equivalent = 0;
+  for (const auto& path : store_kernel_files(dir)) {
+    const std::string bytes = slurp_file(path);
+    bytes_on_disk += bytes.size();
+    const std::uint32_t version = kernel_format_version(bytes);
+    if ((version != kKernelFormatV2 && version != kKernelFormatV3) ||
+        bytes.size() < 28) {
+      ++other_files;
+      continue;
+    }
+    // v2 and v3 share the header prefix: m at [12, 20), n at [20, 28).
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::memcpy(&m, bytes.data() + 12, sizeof(m));
+    std::memcpy(&n, bytes.data() + 20, sizeof(n));
+    raw_equivalent += kernel_v2_encoded_bytes(m + n);
+    version == kKernelFormatV2 ? ++v2_files : ++v3_files;
+  }
+  std::cout << "kernels: " << v2_files + v3_files << " (" << v3_files
+            << " v3 compressed, " << v2_files << " v2 raw";
+  if (other_files > 0) std::cout << ", " << other_files << " unreadable";
+  std::cout << ")\n";
+  std::cout << "bytes on disk: " << bytes_on_disk << "\n";
+  if (bytes_on_disk > 0) {
+    std::cout << "raw-equivalent bytes: " << raw_equivalent << "\n"
+              << "compression ratio: "
+              << static_cast<double>(raw_equivalent) / static_cast<double>(bytes_on_disk)
+              << "x\n";
+  }
+  return 0;
+}
+
+int cmd_store(const CliArgs& args) {
+  if (args.positional().size() != 2) return usage();
+  const std::string& sub = args.positional()[0];
+  const std::string& dir = args.positional()[1];
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::invalid_argument(dir + " is not a directory");
+  }
+  if (sub == "migrate") return cmd_store_migrate(dir);
+  if (sub == "stat") return cmd_store_stat(dir);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +385,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "dotplot") return cmd_dotplot(args);
     if (command == "braid") return cmd_braid(args);
+    if (command == "store") return cmd_store(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "semilocal_cli: " << e.what() << "\n";
