@@ -23,6 +23,18 @@
 //             promoted). Reports resident pairs per GB and the warm p50/p99
 //             of a hot-heavy request stream for both legs, plus the derived
 //             capacity_ratio and p50_regression the check gate enforces.
+//   frontend_sweep
+//             the serve frontends measured over real sockets: an in-process
+//             open-loop client (engine/open_loop.hpp) fires a fixed offered
+//             load at a warm engine behind the epoll reactor and behind the
+//             legacy thread-per-connection frontend, sweeping the arrival
+//             rate to produce the latency-vs-offered-load curve, plus one
+//             high-concurrency reactor point. Every leg records two gate
+//             invariants: stalled_sockets (a request that got neither a
+//             frame nor a close) must be 0, and shed_mismatch (server-side
+//             RETRY_AFTER frames sent minus client-side kOverloaded frames
+//             received) must be 0 -- overload is allowed, silent overload
+//             is not.
 //
 // Engine stats are recorded alongside the client-side numbers so a regression
 // in the *policy* (recompute where a hit was possible) is visible, not just a
@@ -36,6 +48,9 @@
 #include <thread>
 
 #include "engine/engine.hpp"
+#include "engine/frontend.hpp"
+#include "engine/open_loop.hpp"
+#include "engine/protocol.hpp"
 #include "util/random.hpp"
 
 using namespace semilocal;
@@ -331,6 +346,158 @@ CapacityResult run_capacity_sweep(Index length) {
   return result;
 }
 
+struct FrontendLeg {
+  std::string mode;  // "reactor" | "threaded"
+  std::size_t connections = 0;
+  double offered_rate = 0.0;
+  OpenLoopResult open;
+  FrontendStats frontend;  // timed-window delta (warm-up excluded)
+
+  /// RETRY_AFTER frames the server sent minus kOverloaded frames the client
+  /// decoded. Nonzero means an overload verdict vanished in transit -- the
+  /// exact silent failure the typed-backpressure contract forbids.
+  [[nodiscard]] std::int64_t shed_mismatch() const {
+    return static_cast<std::int64_t>(frontend.retry_after_sent) -
+           static_cast<std::int64_t>(open.overloaded);
+  }
+};
+
+FrontendStats frontend_delta(const FrontendStats& before, const FrontendStats& after) {
+  FrontendStats d;
+  d.connections_accepted = after.connections_accepted - before.connections_accepted;
+  d.connections_shed = after.connections_shed - before.connections_shed;
+  d.retry_after_sent = after.retry_after_sent - before.retry_after_sent;
+  d.frames_decoded = after.frames_decoded - before.frames_decoded;
+  d.partial_frames = after.partial_frames - before.partial_frames;
+  d.protocol_errors = after.protocol_errors - before.protocol_errors;
+  d.inline_answers = after.inline_answers - before.inline_answers;
+  d.pump_answers = after.pump_answers - before.pump_answers;
+  return d;
+}
+
+/// Distinct kLcs request payloads over a small random pool, pre-encoded so
+/// the open-loop send path does no work but a copy.
+std::vector<std::string> make_frontend_payloads(int pairs, Index length) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  Rng rng(2026);
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    Request request;
+    request.op = Op::kLcs;
+    for (Index i = 0; i < length; ++i) {
+      request.a.push_back(static_cast<Symbol>(kBases[rng.uniform(0, 3)]));
+      request.b.push_back(static_cast<Symbol>(kBases[rng.uniform(0, 3)]));
+    }
+    payloads.push_back(encode_request(request));
+  }
+  return payloads;
+}
+
+/// Runs one open-loop measurement against an already-constructed frontend:
+/// spins the event/accept loop on a helper thread, replays the payload pool
+/// once at a low rate so the engine is warm (cold-compute samples would
+/// otherwise pollute the p99 this sweep exists to compare), then fires the
+/// timed window and stops the server.
+template <typename Server>
+FrontendLeg drive_frontend(Server& server, const std::string& mode,
+                           std::size_t connections, double rate,
+                           std::uint64_t duration_ms,
+                           const std::vector<std::string>& payloads) {
+  FrontendLeg leg;
+  leg.mode = mode;
+  leg.connections = connections;
+  leg.offered_rate = rate;
+
+  std::thread loop([&server] { server.run(); });
+  std::size_t warm_idx = 0;
+  OpenLoopOptions warm;
+  warm.port = server.port();
+  warm.connections = 4;
+  warm.arrival_rate = 200.0;
+  warm.duration_ms = 50 * static_cast<std::uint64_t>(payloads.size());
+  warm.next_payload = [&payloads, &warm_idx] {
+    return payloads[warm_idx++ % payloads.size()];
+  };
+  (void)run_open_loop(warm);
+  const FrontendStats before = server.stats();
+
+  std::size_t idx = 0;
+  OpenLoopOptions open;
+  open.port = server.port();
+  open.connections = connections;
+  open.arrival_rate = rate;
+  open.duration_ms = duration_ms;
+  open.drain_ms = 5000;
+  open.next_payload = [&payloads, &idx] { return payloads[idx++ % payloads.size()]; };
+  leg.open = run_open_loop(open);
+  leg.frontend = frontend_delta(before, server.stats());
+  server.request_stop();
+  loop.join();
+  return leg;
+}
+
+FrontendLeg run_frontend_leg(bool reactor, std::size_t connections, double rate,
+                             std::uint64_t duration_ms,
+                             const std::vector<std::string>& payloads) {
+  EngineOptions options;  // memory store: the sweep measures the frontends
+  options.scheduler.workers = hardware_threads();
+  options.scheduler.max_queue = 4096;
+  ComparisonEngine engine(options);
+
+  FrontendOptions frontend;
+  frontend.port = 0;
+  frontend.max_connections = connections + 64;  // headroom for the warm-up conns
+  frontend.idle_timeout_ms = 0;                 // legs pause between phases
+  frontend.read_timeout_ms = 0;
+  if (reactor) {
+    FrontendServer server(engine, frontend);
+    return drive_frontend(server, "reactor", connections, rate, duration_ms, payloads);
+  }
+  ThreadedFrontend server(engine, frontend);
+  return drive_frontend(server, "threaded", connections, rate, duration_ms, payloads);
+}
+
+std::vector<FrontendLeg> run_frontend_sweep(Index length) {
+  // Short pairs: warm kLcs answers are cheap by design, so the socket /
+  // decode / admission path is what the sweep times, not kernel compute.
+  const auto payloads = make_frontend_payloads(/*pairs=*/8, std::max<Index>(64, length / 8));
+  std::vector<FrontendLeg> legs;
+  for (const double rate : {500.0, 1000.0, 2000.0, 4000.0}) {
+    for (const bool reactor : {false, true}) {
+      legs.push_back(run_frontend_leg(reactor, /*connections=*/128, rate,
+                                      /*duration_ms=*/1000, payloads));
+    }
+  }
+  // The concurrency point the threaded frontend cannot visit (2000 blocking
+  // threads is not a serving design): the reactor at 2000 sockets.
+  legs.push_back(run_frontend_leg(/*reactor=*/true, /*connections=*/2000,
+                                  /*rate=*/2000.0, /*duration_ms=*/1000, payloads));
+  return legs;
+}
+
+void write_frontend_leg(std::ofstream& out, const FrontendLeg& leg, bool last) {
+  const OpenLoopResult& r = leg.open;
+  out << "    {\"mode\": \"" << leg.mode << "\", \"connections\": " << leg.connections
+      << ", \"offered_rate\": " << leg.offered_rate
+      << ", \"achieved_rate\": " << r.achieved_rate
+      << ",\n     \"sent\": " << r.sent << ", \"received\": " << r.received
+      << ", \"ok\": " << r.ok << ", \"overloaded\": " << r.overloaded
+      << ", \"errors\": " << r.errors << ", \"decode_errors\": " << r.decode_errors
+      << ", \"closed_early\": " << r.closed_early
+      << ",\n     \"stalled_sockets\": " << r.stalled
+      << ", \"shed_mismatch\": " << leg.shed_mismatch()
+      << ", \"connections_shed\": " << leg.frontend.connections_shed
+      << ", \"retry_after_sent\": " << leg.frontend.retry_after_sent
+      << ",\n     \"frames_decoded\": " << leg.frontend.frames_decoded
+      << ", \"partial_frames\": " << leg.frontend.partial_frames
+      << ", \"inline_answers\": " << leg.frontend.inline_answers
+      << ", \"pump_answers\": " << leg.frontend.pump_answers
+      << ",\n     \"p50_ms\": " << r.p50_ms << ", \"p90_ms\": " << r.p90_ms
+      << ", \"p99_ms\": " << r.p99_ms << ", \"max_ms\": " << r.max_ms << "}"
+      << (last ? "" : ",") << "\n";
+}
+
 void write_capacity_leg(std::ofstream& out, const CapacityLeg& leg, bool last) {
   const EngineStats& s = leg.stats;
   out << "    {\"name\": \"" << leg.name << "\", \"resident_pairs\": "
@@ -351,7 +518,8 @@ void write_capacity_leg(std::ofstream& out, const CapacityLeg& leg, bool last) {
 }
 
 void write_json(const std::string& path, const std::vector<MixResult>& mixes,
-                const CapacityResult& capacity, Index length) {
+                const CapacityResult& capacity,
+                const std::vector<FrontendLeg>& frontends, Index length) {
   std::filesystem::create_directories(std::filesystem::path(path).parent_path());
   std::ofstream out(path);
   out << "{\n  \"workers\": " << hardware_threads() << ",\n";
@@ -388,6 +556,11 @@ void write_json(const std::string& path, const std::vector<MixResult>& mixes,
       << "    \"legs\": [\n";
   write_capacity_leg(out, capacity.v2, /*last=*/false);
   write_capacity_leg(out, capacity.v3, /*last=*/true);
+  out << "  ]},\n";
+  out << "  \"frontend_sweep\": {\n    \"legs\": [\n";
+  for (std::size_t i = 0; i < frontends.size(); ++i) {
+    write_frontend_leg(out, frontends[i], i + 1 == frontends.size());
+  }
   out << "  ]}\n}\n";
   std::cout << "engine report written to " << path << "\n";
 }
@@ -426,6 +599,7 @@ int main() {
                                    /*use_index=*/false));
 
   const CapacityResult capacity = run_capacity_sweep(length);
+  const std::vector<FrontendLeg> frontends = run_frontend_sweep(length);
 
   Table table({"mix", "requests", "throughput_req_s", "queries_per_s", "p50_ms",
                "p99_ms", "computed", "coalesced", "cache_hit_rate", "indexed",
@@ -463,6 +637,23 @@ int main() {
   std::cout << "capacity_ratio " << capacity.capacity_ratio() << "x, p50_regression "
             << 100.0 * capacity.p50_regression() << "%\n";
 
-  write_json("results/bench_engine.json", mixes, capacity, length);
+  Table fe({"mode", "conns", "offered_rps", "achieved_rps", "received", "overloaded",
+            "stalled", "shed_mismatch", "p50_ms", "p99_ms"});
+  for (const FrontendLeg& leg : frontends) {
+    fe.row()
+        .cell(leg.mode)
+        .cell(static_cast<long long>(leg.connections))
+        .cell(leg.offered_rate, 0)
+        .cell(leg.open.achieved_rate, 0)
+        .cell(static_cast<long long>(leg.open.received))
+        .cell(static_cast<long long>(leg.open.overloaded))
+        .cell(static_cast<long long>(leg.open.stalled))
+        .cell(static_cast<long long>(leg.shed_mismatch()))
+        .cell(leg.open.p50_ms, 3)
+        .cell(leg.open.p99_ms, 3);
+  }
+  fe.print(std::cout, "frontend sweep (open-loop offered load)");
+
+  write_json("results/bench_engine.json", mixes, capacity, frontends, length);
   return 0;
 }

@@ -16,9 +16,24 @@
 # exercise the mmap seam, so the slice must exist (a label typo would
 # silently drop it from the filter) and must be clean.
 #
+# The frontend label slice is likewise re-run under ASan: the reactor frees
+# connections from inside decoder callbacks (the graveyard pattern), which is
+# precisely the lifetime bug class ASan sees and release builds survive.
+#
 # The bench gate then runs a scaled-down bench_engine (release) and fails if
 # the happy path ever fell back from mmap to whole-file reads
-# (mmap_fallbacks > 0 means the seam is broken on this platform).
+# (mmap_fallbacks > 0 means the seam is broken on this platform), if any
+# frontend-sweep leg stalled a socket (a request answered by neither a frame
+# nor a close), or if the overload accounting disagreed between server and
+# client (shed_mismatch != 0).
+#
+# The serve gate then stands up the real semilocal_serve reactor and fires
+# the open-loop loadgen at it: 10000 concurrent sockets at 5000 req/s, which
+# must finish with zero stalled sockets (loadgen exits nonzero otherwise),
+# plus an admission leg where 200 clients hit a --max-conns 50 server and
+# every refused connection must receive a typed RETRY_AFTER frame.
+# SKIP_SERVE_GATE=1 skips it (needs ~20k fds; raise ulimit -n if the default
+# hard limit is lower).
 #
 # With CHECK_FAULTS=1, an extra leg runs the fault-injection scenario runner
 # (tests/test_faults) over FAULT_SEEDS extra random schedules beyond the
@@ -55,7 +70,14 @@ if ! ctest --preset asan -N -L 'serialize|store' | grep -q 'Total Tests: [1-9]';
 fi
 ctest --preset asan -j "$jobs" -L 'serialize|store'
 
-echo "==> bench gate: mmap happy path (scaled bench_engine)"
+echo "==> frontend slice under ASan"
+if ! ctest --preset asan -N -L 'frontend' | grep -q 'Total Tests: [1-9]'; then
+  echo "error: no tests carry the frontend label" >&2
+  exit 1
+fi
+ctest --preset asan -j "$jobs" -L 'frontend'
+
+echo "==> bench gate: mmap happy path + frontend sweep (scaled bench_engine)"
 cmake --build --preset release -j "$jobs" --target bench_engine >/dev/null
 # Run from the build dir so the committed results/ JSON is not clobbered.
 ( cd build/release && SEMILOCAL_BENCH_SCALE="${BENCH_GATE_SCALE:-0.1}" ./bench/bench_engine >/dev/null )
@@ -63,6 +85,69 @@ if grep -Eq '"mmap_fallbacks": *[1-9]' build/release/results/bench_engine.json; 
   echo "error: bench_engine reported mmap_fallbacks > 0 on the happy path" >&2
   grep -o '"mmap_fallbacks": *[0-9]*' build/release/results/bench_engine.json >&2
   exit 1
+fi
+if grep -Eq '"stalled_sockets": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: a frontend-sweep leg stalled a socket (request with no frame and no close)" >&2
+  grep -o '"stalled_sockets": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+if grep -Eq '"shed_mismatch": *-?[1-9]' build/release/results/bench_engine.json; then
+  echo "error: frontend-sweep overload accounting mismatch (RETRY_AFTER sent != received)" >&2
+  grep -Eo '"shed_mismatch": *-?[0-9]+' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+if grep -Eq '"decode_errors": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: frontend-sweep client failed to decode a response frame" >&2
+  exit 1
+fi
+
+if [[ "${SKIP_SERVE_GATE:-0}" != "1" ]]; then
+  echo "==> serve gate: 10k open-loop sockets against the real reactor"
+  cmake --build --preset release -j "$jobs" --target semilocal_serve semilocal_loadgen >/dev/null
+  serve_port=19777
+  build/release/tools/semilocal_serve --port "$serve_port" --no-persist &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    if build/release/tools/semilocal_loadgen --port "$serve_port" --requests 1 \
+         --pairs 1 --length 64 --threads 1 >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  # The headline leg: 10000 concurrent sockets, 5000 req/s offered for 2 s.
+  # loadgen exits nonzero on any stalled socket or decode error.
+  build/release/tools/semilocal_loadgen --port "$serve_port" \
+    --arrival-rate 5000 --connections 10000 --duration-ms 2000 --drain-ms 5000 \
+    --pairs 8 --length 256 --json | tee build/release/serve_gate_10k.json
+  kill "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  # connect_failures > 0 means the fleet silently shrank (fd limit, backlog):
+  # the leg would then prove much less than "10k concurrent sockets".
+  if ! grep -q '"connect_failures": 0' build/release/serve_gate_10k.json; then
+    echo "error: 10k leg lost connections at connect time" >&2
+    exit 1
+  fi
+
+  # Admission leg: 200 clients against a 50-connection gate; every refused
+  # connection owes one typed RETRY_AFTER frame before the close.
+  build/release/tools/semilocal_serve --port "$serve_port" --no-persist --max-conns 50 &
+  serve_pid=$!
+  for _ in $(seq 50); do
+    if build/release/tools/semilocal_loadgen --port "$serve_port" --requests 1 \
+         --pairs 1 --length 64 --threads 1 >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  build/release/tools/semilocal_loadgen --port "$serve_port" \
+    --arrival-rate 1000 --connections 200 --duration-ms 1000 --drain-ms 5000 \
+    --pairs 4 --length 64 --json | tee build/release/serve_gate_shed.json
+  kill "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  trap - EXIT
+  # 150 connections over the gate: each owes exactly one kOverloaded frame
+  # before its close, and nothing may stall (loadgen already exited 0).
+  if ! grep -Eq '"overloaded": *1[0-9][0-9]' build/release/serve_gate_shed.json; then
+    echo "error: admission leg did not shed ~150 connections with RETRY_AFTER frames" >&2
+    exit 1
+  fi
 fi
 
 if [[ "${CHECK_FAULTS:-0}" == "1" ]]; then

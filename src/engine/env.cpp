@@ -34,8 +34,45 @@ const char* env_op_name(EnvOp op) {
       return "list";
     case EnvOp::kMap:
       return "map";
+    case EnvOp::kSockRead:
+      return "sockread";
+    case EnvOp::kSockWrite:
+      return "sockwrite";
   }
   return "unknown";
+}
+
+// The default fd seam is a raw passthrough (EINTR retried); every Env shares
+// it unless a decorator wants to interfere. Errno is the out-of-band channel
+// on purpose -- the frontend's event loop speaks EAGAIN natively.
+long Env::fd_read(int fd, void* buf, std::size_t n, std::string_view /*label*/) {
+#if defined(__unix__) || defined(__APPLE__)
+  while (true) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return static_cast<long>(r);
+  }
+#else
+  (void)fd;
+  (void)buf;
+  (void)n;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+long Env::fd_write(int fd, const void* buf, std::size_t n, std::string_view /*label*/) {
+#if defined(__unix__) || defined(__APPLE__)
+  while (true) {
+    const ssize_t w = ::write(fd, buf, n);
+    if (w >= 0 || errno != EINTR) return static_cast<long>(w);
+  }
+#else
+  (void)fd;
+  (void)buf;
+  (void)n;
+  errno = ENOSYS;
+  return -1;
+#endif
 }
 
 namespace {
@@ -201,7 +238,10 @@ FaultyEnv::Fired FaultyEnv::arbitrate(EnvOp op, const std::string& path) {
     }
     Fired fired;
     fired.fired = true;
-    fired.short_write = op == EnvOp::kWrite ? rule.short_write_bytes : 0;
+    fired.short_write = op == EnvOp::kWrite || op == EnvOp::kSockRead ||
+                                op == EnvOp::kSockWrite
+                            ? rule.short_write_bytes
+                            : 0;
     fired.torn_map = op == EnvOp::kMap ? rule.torn_map_bytes : 0;
     fired.message = "FaultyEnv: " + rule.message + " (" + std::string(env_op_name(op)) +
                     " " + basename_of(path) + ")";
@@ -279,6 +319,32 @@ std::vector<std::string> FaultyEnv::list_dir(const std::string& dir) {
   const Fired fired = arbitrate(EnvOp::kList, dir);
   if (fired.fired) throw EnvError(fired.message, /*injected=*/true);
   return base_->list_dir(dir);
+}
+
+long FaultyEnv::fd_read(int fd, void* buf, std::size_t n, std::string_view label) {
+  const Fired fired = arbitrate(EnvOp::kSockRead, std::string(label));
+  if (fired.fired) {
+    // short_write > 0: deterministic partial read -- the transfer is capped,
+    // the bytes are real, and the decoder must resume from the torn point.
+    if (fired.short_write > 0) {
+      return base_->fd_read(fd, buf, std::min(n, fired.short_write), label);
+    }
+    errno = EIO;
+    return -1;
+  }
+  return base_->fd_read(fd, buf, n, label);
+}
+
+long FaultyEnv::fd_write(int fd, const void* buf, std::size_t n, std::string_view label) {
+  const Fired fired = arbitrate(EnvOp::kSockWrite, std::string(label));
+  if (fired.fired) {
+    if (fired.short_write > 0) {
+      return base_->fd_write(fd, buf, std::min(n, fired.short_write), label);
+    }
+    errno = EIO;
+    return -1;
+  }
+  return base_->fd_write(fd, buf, n, label);
 }
 
 bool FaultyEnv::exists(const std::string& path) { return base_->exists(path); }

@@ -53,12 +53,14 @@ class EnvError : public std::runtime_error {
 
 /// The injectable operation classes a FaultRule can target.
 enum class EnvOp : std::uint8_t {
-  kRead = 0,    ///< read_file
-  kWrite = 1,   ///< write_file (short-write faults live here)
-  kRename = 2,  ///< rename_file
-  kRemove = 3,  ///< remove_file
-  kList = 4,    ///< list_dir
-  kMap = 5,     ///< map_file (torn-mapping faults live here)
+  kRead = 0,      ///< read_file
+  kWrite = 1,     ///< write_file (short-write faults live here)
+  kRename = 2,    ///< rename_file
+  kRemove = 3,    ///< remove_file
+  kList = 4,      ///< list_dir
+  kMap = 5,       ///< map_file (torn-mapping faults live here)
+  kSockRead = 6,  ///< fd_read (short reads / connection errors)
+  kSockWrite = 7, ///< fd_write (short writes / connection errors)
 };
 
 /// Stable lowercase name ("read", "write", ...) used in traces.
@@ -123,6 +125,18 @@ class Env {
   /// Monotonic clock in nanoseconds (steady_clock for RealEnv, a
   /// deterministic synthetic clock for FaultyEnv).
   virtual std::uint64_t now_ns() = 0;
+
+  /// Socket/pipe seam for the serve frontend: one read(2) on a (typically
+  /// non-blocking) fd. Returns the byte count, 0 on EOF, or -1 with errno
+  /// set (EAGAIN = no data yet). `label` is the fault-rule path (the
+  /// frontend passes "conn:<id>"), so plans can tear a specific connection
+  /// or every one ("conn"). Injected failures return -1 with errno = EIO;
+  /// a rule with short_write_bytes > 0 instead truncates the transfer --
+  /// deterministic partial I/O, which is how a plan "delays" a socket.
+  virtual long fd_read(int fd, void* buf, std::size_t n, std::string_view label);
+
+  /// One write(2) on a fd; mirror contract of fd_read.
+  virtual long fd_write(int fd, const void* buf, std::size_t n, std::string_view label);
 };
 
 /// The process-wide passthrough Env over the real filesystem and clock.
@@ -190,6 +204,8 @@ class FaultyEnv : public Env {
   bool exists(const std::string& path) override;
   bool create_dirs(const std::string& dir) override;
   std::uint64_t now_ns() override;
+  long fd_read(int fd, void* buf, std::size_t n, std::string_view label) override;
+  long fd_write(int fd, const void* buf, std::size_t n, std::string_view label) override;
 
   [[nodiscard]] std::vector<FaultEvent> trace() const;
   /// The trace as text, one `#<op_seq> rule<i> <op> <basename>: <detail>`

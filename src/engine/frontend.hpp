@@ -1,0 +1,167 @@
+// Serve frontends: the epoll reactor (default) and the threaded legacy.
+//
+// The reactor is what lets one engine face tens of thousands of sockets:
+// a single event-loop thread owns every connection (non-blocking accept /
+// read / write through the Env fd seam), an incremental FrameDecoder turns
+// partial reads into protocol frames with zero copies on the contained-frame
+// path, and a small fixed pump pool waits on scheduler futures so a cold
+// compute never blocks the loop. Admission control is explicit and typed:
+//
+//   gate            verdict when exceeded
+//   --------------  ------------------------------------------------------
+//   max_connections accept, send one RETRY_AFTER frame, close (shed)
+//   per-conn        RETRY_AFTER response for the request, connection lives
+//    in-flight
+//   scheduler       EngineOverloaded's retry hint forwarded as RETRY_AFTER
+//    queue bound
+//   write-queue cap connection closed (a peer that never reads is not a
+//                   client, it is a memory leak)
+//   idle timeout    connection closed (no bytes, no pending work)
+//   read timeout    connection closed (a frame started but never finished
+//                   -- the slow-loris shape)
+//
+// "RETRY_AFTER" is the wire's Status::kOverloaded response with a non-zero
+// retry_ms: the client contract is "back off retry_ms, then resend". Nothing
+// ever stalls silently -- every overload verdict is a frame or a close.
+//
+// All timeouts read the Env clock and all socket I/O goes through
+// Env::fd_read/fd_write, so FaultyEnv can tear or fail any connection's
+// bytes deterministically (tests drive the decoder's resume path this way).
+//
+// ThreadedFrontend is the pre-reactor design kept for differential testing
+// (one blocking thread per connection) -- with the PR 7 lifetime fixes: a
+// joinable connection registry instead of detached threads, and a graceful
+// drain on stop() so no thread can touch the engine after main tears it
+// down.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+
+namespace semilocal {
+
+struct FrontendOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks a free port (see port()).
+  int port = 0;
+  /// listen(2) backlog (was hardcoded to 64 before PR 7).
+  int listen_backlog = 128;
+  /// Admission gate: connections beyond this are shed with one RETRY_AFTER
+  /// frame instead of being accepted.
+  std::size_t max_connections = 10000;
+  /// Per-connection budget of requests awaiting compute; the budget's
+  /// overflow answer is RETRY_AFTER, not a stalled socket.
+  std::size_t max_inflight_per_conn = 64;
+  /// Cap on a connection's queued-but-unsent response bytes. A client that
+  /// stops reading is disconnected when its queue passes this.
+  std::size_t max_write_queue_bytes = std::size_t{1} << 20;
+  /// Close a connection with no read bytes, no partial frame and no pending
+  /// work for this long. 0 disables.
+  std::uint64_t idle_timeout_ms = 60'000;
+  /// Close a connection that started a frame but has not finished it within
+  /// this window (slow-loris defense). 0 disables.
+  std::uint64_t read_timeout_ms = 10'000;
+  /// How long stop() waits for in-flight requests to answer and flush
+  /// before hard-closing the stragglers.
+  std::uint64_t drain_timeout_ms = 2'000;
+  /// retry_ms hint attached to frontend-level RETRY_AFTER verdicts (the
+  /// scheduler's own backpressure hint is forwarded verbatim).
+  Index admission_retry_ms = 10;
+  /// Threads that wait on scheduler futures for cold requests. Warm
+  /// (cache-hit) requests are answered inline on the event loop and never
+  /// touch a pump.
+  int pump_threads = 2;
+  /// Pack request bytes as DNA before hashing (match CLI precompute keys).
+  bool dna = false;
+  /// workers == 0 engines: pumps call engine.drain() before waiting, so a
+  /// reactor over a threadless scheduler still makes progress.
+  bool drain_inline = false;
+  /// Clock + socket-I/O seam. nullptr = real_env().
+  Env* env = nullptr;
+};
+
+/// Plain-value snapshot of the frontend counters (stats JSON: frontend_*).
+struct FrontendStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_shed = 0;    ///< refused by the max-connections gate
+  std::uint64_t connections_closed = 0;  ///< closed for any reason (EOF included)
+  std::uint64_t retry_after_sent = 0;    ///< kOverloaded frames sent (all gates)
+  std::uint64_t frames_decoded = 0;      ///< request frames parsed
+  std::uint64_t partial_frames = 0;      ///< frames assembled across >1 read
+  std::uint64_t protocol_errors = 0;     ///< malformed frames / payloads
+  std::uint64_t timeouts_idle = 0;
+  std::uint64_t timeouts_read = 0;
+  std::uint64_t write_queue_disconnects = 0;
+  std::uint64_t inline_answers = 0;  ///< answered on the event loop (warm path)
+  std::uint64_t pump_answers = 0;    ///< answered by a pump (cold path)
+};
+
+/// stats_json() with the frontend_* counters appended -- what the kStats op
+/// returns when served through a frontend.
+std::string stats_json(const EngineStats& stats, const FrontendStats& frontend);
+
+/// The epoll reactor frontend. Construction binds and listens (throws
+/// std::runtime_error on failure); run() executes the event loop on the
+/// calling thread until request_stop(). One instance serves one engine.
+class FrontendServer {
+ public:
+  FrontendServer(ComparisonEngine& engine, FrontendOptions options);
+  ~FrontendServer();
+  FrontendServer(const FrontendServer&) = delete;
+  FrontendServer& operator=(const FrontendServer&) = delete;
+
+  /// The bound port (useful with options.port = 0).
+  [[nodiscard]] int port() const;
+
+  /// Runs the event loop until request_stop(). Drains gracefully: stops
+  /// accepting, answers in-flight requests, flushes write queues, then
+  /// hard-closes whatever outlives drain_timeout_ms.
+  void run();
+
+  /// Requests shutdown. Async-signal-safe (one write(2) to a wake pipe), so
+  /// a SIGINT handler may call it directly.
+  void request_stop();
+
+  [[nodiscard]] FrontendStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The legacy thread-per-connection frontend: one blocking session thread
+/// per accepted socket, now with owned lifetimes -- sessions live in a
+/// joinable registry, stop() shuts each socket down for reading (the session
+/// finishes its in-flight request, flushes, and exits) and joins every
+/// thread before returning, so the engine can never be torn down under a
+/// live session. Kept for differential testing against the reactor.
+class ThreadedFrontend {
+ public:
+  ThreadedFrontend(ComparisonEngine& engine, FrontendOptions options);
+  ~ThreadedFrontend();
+  ThreadedFrontend(const ThreadedFrontend&) = delete;
+  ThreadedFrontend& operator=(const ThreadedFrontend&) = delete;
+
+  [[nodiscard]] int port() const;
+
+  /// Accept loop; returns after request_stop() has drained and joined every
+  /// session thread.
+  void run();
+
+  /// Async-signal-safe shutdown request (shutdown(2) on the listener).
+  void request_stop();
+
+  [[nodiscard]] FrontendStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace semilocal

@@ -1,0 +1,68 @@
+// Open-loop load client for the serve frontends.
+//
+// Closed-loop clients (send, wait, send) measure a server at the throughput
+// the *client* sustains: under overload they slow down with the server and
+// the latency curve flattens into a lie. The open-loop runner instead fires
+// requests on a fixed schedule -- `arrival_rate` per second in aggregate,
+// round-robin across `connections` persistent sockets -- whether or not
+// earlier responses came back, which is what exposes queueing collapse.
+//
+// One epoll thread owns every client socket. Each connection keeps a FIFO of
+// send timestamps; responses (matched in order, the protocol is strictly
+// FIFO per connection) pop the front and record a latency sample. After the
+// timed window the runner stops sending and drains: any connection still
+// holding unanswered requests once the drain window closes counts as a
+// *stalled socket* -- the bench gate's red flag, because the frontend
+// contract says every request ends in a frame or a close, never silence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace semilocal {
+
+struct OpenLoopOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Persistent connections opened before the timed window starts.
+  std::size_t connections = 64;
+  /// Aggregate offered load, requests per second across all connections.
+  double arrival_rate = 1000.0;
+  /// Length of the timed send window.
+  std::uint64_t duration_ms = 1000;
+  /// Extra time after the window for in-flight responses to land.
+  std::uint64_t drain_ms = 2000;
+  /// Produces each request's payload (unframed; the runner frames it).
+  /// Called once per send, in send order.
+  std::function<std::string()> next_payload;
+};
+
+struct OpenLoopResult {
+  std::uint64_t connected = 0;       ///< sockets that finished connect()
+  std::uint64_t connect_failures = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;          ///< kError responses
+  std::uint64_t overloaded = 0;      ///< RETRY_AFTER (kOverloaded) responses
+  std::uint64_t decode_errors = 0;
+  std::uint64_t closed_early = 0;    ///< sockets the server closed mid-run
+  std::uint64_t stalled = 0;         ///< sockets still owing responses post-drain
+  double achieved_rate = 0.0;        ///< sends per second actually issued
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Runs one open-loop measurement against a frontend. Blocking; returns when
+/// the window and drain complete. Throws std::runtime_error only for setup
+/// failures (socket/epoll exhaustion); per-connection failures are counted.
+OpenLoopResult run_open_loop(const OpenLoopOptions& options);
+
+/// The result as a flat JSON object (bench_engine.json / loadgen --json).
+std::string to_json(const OpenLoopResult& result);
+
+}  // namespace semilocal

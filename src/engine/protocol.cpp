@@ -72,15 +72,9 @@ void append_sequence_bytes(std::string& out, SequenceView s) {
 }  // namespace
 
 void write_frame(std::ostream& out, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    throw ProtocolError("frame payload exceeds limit");
-  }
   // One buffer, one write: over an unbuffered socket stream, a separate
   // 4-byte header write would cost a Nagle/delayed-ACK round trip per frame.
-  std::string frame;
-  frame.reserve(4 + payload.size());
-  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
-  frame += payload;
+  const std::string frame = frame_payload(payload);
   out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   out.flush();
   if (!out) throw std::runtime_error("write_frame: stream failure");
@@ -103,6 +97,17 @@ std::optional<std::string> read_frame(std::istream& in) {
     throw ProtocolError("truncated frame payload");
   }
   return payload;
+}
+
+std::string frame_payload(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload exceeds limit");
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  append_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
 }
 
 std::string encode_request(const Request& request) {

@@ -20,6 +20,7 @@
 // round-trip tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -93,5 +94,97 @@ Request decode_request(std::string_view payload);
 
 std::string encode_response(const Response& response);
 Response decode_response(std::string_view payload);
+
+/// Frames `payload` for the wire: the little-endian u32 length prefix plus
+/// the payload bytes, as one contiguous buffer. Throws ProtocolError past
+/// kMaxFrameBytes. The event-driven frontend appends these to its per-
+/// connection write queue; write_frame() is the iostream twin.
+std::string frame_payload(std::string_view payload);
+
+/// Incremental frame decoder: the reactor-side twin of read_frame().
+///
+/// A connection feeds whatever bytes the socket produced -- half a header,
+/// three frames and a tail, one byte -- and the decoder emits each complete
+/// payload exactly once, in order. Invariants the torture suite pins:
+///
+///   * Split-invariance: any partition of a byte stream into feed() calls
+///     yields byte-identical payloads in the same order as one whole-stream
+///     feed.
+///   * Zero-copy fast path: a frame wholly contained in one fed chunk is
+///     handed to the sink as a view into that chunk, never copied. Only
+///     frames that span feeds are assembled in the carry buffer (the sink's
+///     `spanned` flag reports which path delivered the frame -- the
+///     frontend's partial_frames counter).
+///   * Bounded allocation: a declared length is validated against
+///     kMaxFrameBytes the moment the 4th header byte arrives, before any
+///     payload buffering, so a hostile 4 GiB header costs nothing. The carry
+///     buffer never reserves more than one validated frame.
+///
+/// After a ProtocolError the decoder is poisoned -- the stream has no frame
+/// boundary to resynchronize on, matching read_frame()'s hang-up contract.
+class FrameDecoder {
+ public:
+  /// Feeds a chunk; invokes sink(payload, spanned) per completed frame.
+  /// Returns the number of frames completed by this chunk. Throws
+  /// ProtocolError on an oversized declared length (before buffering it).
+  template <typename Sink>
+  std::size_t feed(std::string_view bytes, Sink&& sink) {
+    std::size_t frames = 0;
+    while (!bytes.empty()) {
+      if (carry_.empty()) {
+        if (bytes.size() < 4) {  // not even a header: buffer and wait
+          carry_.assign(bytes);
+          break;
+        }
+        const std::size_t len = header_length(bytes.data());
+        if (bytes.size() - 4 >= len) {  // whole frame in this chunk: no copy
+          sink(bytes.substr(4, len), /*spanned=*/false);
+          ++frames;
+          bytes.remove_prefix(4 + len);
+          continue;
+        }
+        carry_.reserve(4 + len);  // validated: bounded by kMaxFrameBytes
+        carry_.assign(bytes);
+        break;
+      }
+      // Mid-frame: finish the header first (its length gates allocation).
+      if (carry_.size() < 4) {
+        const std::size_t take = std::min<std::size_t>(4 - carry_.size(), bytes.size());
+        carry_.append(bytes.substr(0, take));
+        bytes.remove_prefix(take);
+        if (carry_.size() < 4) break;
+        carry_.reserve(4 + header_length(carry_.data()));
+      }
+      const std::size_t len = header_length(carry_.data());
+      const std::size_t take = std::min(4 + len - carry_.size(), bytes.size());
+      carry_.append(bytes.substr(0, take));
+      bytes.remove_prefix(take);
+      if (carry_.size() < 4 + len) break;
+      sink(std::string_view(carry_).substr(4), /*spanned=*/true);
+      ++frames;
+      carry_.clear();
+    }
+    return frames;
+  }
+
+  /// True while a started frame awaits more bytes (arms the read timeout).
+  [[nodiscard]] bool mid_frame() const { return !carry_.empty(); }
+
+  /// Bytes currently buffered for the incomplete frame (header included).
+  [[nodiscard]] std::size_t buffered_bytes() const { return carry_.size(); }
+
+ private:
+  /// Decodes and validates the u32 length of a 4-byte header.
+  static std::size_t header_length(const char* header) {
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<unsigned char>(header[i]);
+    }
+    if (len > kMaxFrameBytes) throw ProtocolError("frame length exceeds limit");
+    return len;
+  }
+
+  std::string carry_;  ///< the (at most one) incomplete frame, header first
+};
 
 }  // namespace semilocal

@@ -1,0 +1,619 @@
+// In-process tests for the serve frontends (engine/frontend.hpp): protocol
+// round trips through real sockets, the typed admission-control verdicts
+// (shed, per-connection budget, scheduler backpressure as RETRY_AFTER),
+// slow-client defenses (slow-loris read timeout, idle eviction, write-queue
+// cap), deterministic fault injection through the Env socket seam, graceful
+// drain on stop, and the threaded legacy frontend's joined-lifetime
+// regression. Every test binds port 0 (a fresh free port) and runs the
+// frontend on a background thread; the multi-client hammer doubles as the
+// tsan workload for the reactor / pump / counter interleavings.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "engine/env.hpp"
+#include "engine/frontend.hpp"
+#include "engine/protocol.hpp"
+
+namespace semilocal {
+namespace {
+
+using namespace std::chrono_literals;
+
+Sequence seq(const std::string& text) {
+  Sequence out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(static_cast<Symbol>(c));
+  return out;
+}
+
+Request lcs_request(const std::string& a, const std::string& b) {
+  Request request;
+  request.op = Op::kLcs;
+  request.a = seq(a);
+  request.b = seq(b);
+  return request;
+}
+
+/// A blocking test client: framed sends, decoder-driven receives with a
+/// deadline, and explicit EOF observation.
+class Client {
+ public:
+  /// rcvbuf_bytes > 0 shrinks SO_RCVBUF before connect (set early so the
+  /// advertised TCP window honors it) -- the lever that keeps the kernel
+  /// from absorbing responses a never-reading client test wants queued
+  /// server-side.
+  explicit Client(int port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw std::runtime_error("client socket failed");
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(std::string("client connect: ") + std::strerror(errno));
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  }
+
+  ~Client() { close(); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_bytes(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const auto n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        throw std::runtime_error("client write failed");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send(const Request& request) { send_bytes(frame_payload(encode_request(request))); }
+
+  /// Next response frame, or nullopt on server-side close (EOF). Throws on
+  /// deadline -- a stalled socket is always a test failure.
+  std::optional<Response> recv(std::chrono::milliseconds deadline = 5000ms) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (queue_.empty()) {
+      if (eof_) return std::nullopt;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          until - std::chrono::steady_clock::now());
+      if (left <= 0ms) throw std::runtime_error("client recv deadline");
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready <= 0) continue;
+      char buf[1 << 16];
+      const auto n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) {
+        eof_ = true;
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        eof_ = true;  // RST from a hard server-side close
+        continue;
+      }
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                    [this](std::string_view payload, bool) {
+                      queue_.push_back(decode_response(payload));
+                    });
+    }
+    Response response = std::move(queue_.front());
+    queue_.pop_front();
+    return response;
+  }
+
+  /// True if the server closes this connection within the deadline.
+  bool closed_by_server(std::chrono::milliseconds deadline = 5000ms) {
+    try {
+      while (recv(deadline).has_value()) {
+      }
+      return true;  // EOF
+    } catch (const std::exception&) {
+      return false;  // deadline: still open
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<Response> queue_;
+  bool eof_ = false;
+};
+
+EngineOptions small_engine(int workers) {
+  EngineOptions options;
+  options.store.dir = "";  // memory only
+  options.store.cache_bytes = std::size_t{32} << 20;
+  options.scheduler.workers = workers;
+  options.scheduler.max_queue = 64;
+  return options;
+}
+
+/// Engine + reactor + its run() thread, torn down in order.
+struct Reactor {
+  ComparisonEngine engine;
+  FrontendServer server;
+  std::thread thread;
+
+  Reactor(EngineOptions engine_options, FrontendOptions frontend_options)
+      : engine(std::move(engine_options)),
+        server(engine, std::move(frontend_options)),
+        thread([this] { server.run(); }) {}
+
+  ~Reactor() { stop(); }
+
+  void stop() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+
+  [[nodiscard]] int port() const { return server.port(); }
+};
+
+FrontendOptions quiet_frontend() {
+  FrontendOptions options;
+  options.port = 0;
+  options.idle_timeout_ms = 0;  // tests opt in to timeouts explicitly
+  options.read_timeout_ms = 0;
+  return options;
+}
+
+template <typename Pred>
+bool eventually(Pred&& pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+TEST(Frontend, AnswersPingQueriesAndBatchesOverOneConnection) {
+  Reactor reactor(small_engine(1), quiet_frontend());
+  Client client(reactor.port());
+
+  Request ping;
+  ping.op = Op::kPing;
+  client.send(ping);
+  auto response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+
+  client.send(lcs_request("ACGTACGT", "AGTCAGTC"));
+  response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+  EXPECT_GT(response->value, 0);
+
+  Request batch;
+  batch.op = Op::kBatchQuery;
+  batch.a = seq("ACGTACGT");
+  batch.b = seq("AGTCAGTC");
+  for (int i = 0; i < 5; ++i) {
+    WindowQuery w;
+    w.kind = QueryKind::kLcs;
+    batch.windows.push_back(w);
+  }
+  client.send(batch);
+  response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+  ASSERT_EQ(response->values.size(), 5u);
+
+  Request stats;
+  stats.op = Op::kStats;
+  client.send(stats);
+  response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->text.find("\"frontend_connections\""), std::string::npos);
+  EXPECT_NE(response->text.find("\"frontend_shed\""), std::string::npos);
+
+  const FrontendStats fs = reactor.server.stats();
+  EXPECT_EQ(fs.connections_accepted, 1u);
+  EXPECT_EQ(fs.frames_decoded, 4u);
+  EXPECT_EQ(fs.protocol_errors, 0u);
+}
+
+TEST(Frontend, ResponsesStayInRequestOrderAcrossWarmAndColdPaths) {
+  // One cold pair (pump path) immediately followed by pings (inline path):
+  // FIFO slots must hold the pings behind the compute.
+  Reactor reactor(small_engine(1), quiet_frontend());
+  Client client(reactor.port());
+  client.send(lcs_request(std::string(2000, 'A') + "CGT", std::string(2000, 'C') + "GTA"));
+  Request ping;
+  ping.op = Op::kPing;
+  client.send(ping);
+  client.send(ping);
+  const auto first = client.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, Status::kOk);
+  EXPECT_GT(first->value, 0);  // the LCS answer arrived first
+  for (int i = 0; i < 2; ++i) {
+    const auto pong = client.recv();
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(pong->value, 0);
+  }
+}
+
+TEST(Frontend, MaxConnectionsGateShedsWithOneRetryAfterFrame) {
+  FrontendOptions options = quiet_frontend();
+  options.max_connections = 2;
+  Reactor reactor(small_engine(1), options);
+
+  Client first(reactor.port());
+  Client second(reactor.port());
+  Request ping;
+  ping.op = Op::kPing;
+  first.send(ping);
+  ASSERT_TRUE(first.recv().has_value());
+  second.send(ping);
+  ASSERT_TRUE(second.recv().has_value());
+
+  Client third(reactor.port());
+  const auto verdict = third.recv();
+  ASSERT_TRUE(verdict.has_value()) << "shed connections get a frame, not silence";
+  EXPECT_EQ(verdict->status, Status::kOverloaded);
+  EXPECT_GE(verdict->retry_ms, 1);
+  EXPECT_TRUE(third.closed_by_server());
+
+  EXPECT_TRUE(eventually([&] { return reactor.server.stats().connections_shed == 1; }));
+  EXPECT_GE(reactor.server.stats().retry_after_sent, 1u);
+  // The admitted connections are unaffected.
+  first.send(ping);
+  EXPECT_TRUE(first.recv().has_value());
+}
+
+TEST(Frontend, SchedulerBackpressureBecomesTypedRetryAfter) {
+  // workers = 0 and no inline drain: the queue holds job A until the test
+  // drains it, so a second distinct pair deterministically overflows
+  // max_queue = 1 and must come back as kOverloaded with the retry hint.
+  EngineOptions engine_options = small_engine(0);
+  engine_options.scheduler.max_queue = 1;
+  FrontendOptions options = quiet_frontend();
+  options.drain_inline = false;
+  Reactor reactor(std::move(engine_options), options);
+
+  Client client(reactor.port());
+  client.send(lcs_request("AAAACCCC", "CCCCAAAA"));  // job A: parks in the queue
+  ASSERT_TRUE(eventually([&] { return reactor.engine.stats().scheduler.queue_depth == 1; }))
+      << "job A never reached the scheduler queue";
+  client.send(lcs_request("GGGGTTTT", "TTTTGGGG"));  // job B: queue is full
+  ASSERT_TRUE(eventually([&] { return reactor.server.stats().retry_after_sent == 1; }))
+      << "the overload verdict was never issued";
+
+  reactor.engine.drain();  // resolve job A so its response can flush
+
+  const auto first = client.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, Status::kOk) << first->text;
+  const auto second = client.recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, Status::kOverloaded);
+  EXPECT_GE(second->retry_ms, 1) << "RETRY_AFTER must carry a usable hint";
+  // The connection survives a backpressure verdict.
+  Request ping;
+  ping.op = Op::kPing;
+  client.send(ping);
+  EXPECT_TRUE(client.recv().has_value());
+}
+
+TEST(Frontend, PerConnectionInflightBudgetAnswersRetryAfter) {
+  EngineOptions engine_options = small_engine(0);  // nothing resolves on its own
+  FrontendOptions options = quiet_frontend();
+  options.max_inflight_per_conn = 2;
+  options.drain_inline = false;
+  Reactor reactor(std::move(engine_options), options);
+
+  Client client(reactor.port());
+  client.send(lcs_request("AAAA", "AACA"));
+  client.send(lcs_request("CCCC", "CACC"));
+  client.send(lcs_request("GGGG", "GAGG"));  // third cold request: over budget
+  ASSERT_TRUE(eventually([&] { return reactor.server.stats().retry_after_sent == 1; }));
+
+  reactor.engine.drain();
+  const auto first = client.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, Status::kOk);
+  const auto second = client.recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, Status::kOk);
+  const auto third = client.recv();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->status, Status::kOverloaded);
+}
+
+TEST(Frontend, SlowLorisPartialFrameHitsTheReadTimeout) {
+  FrontendOptions options = quiet_frontend();
+  options.read_timeout_ms = 60;
+  Reactor reactor(small_engine(1), options);
+
+  Client client(reactor.port());
+  client.send_bytes(std::string_view("\x21\x00", 2));  // 2 of 4 header bytes, then silence
+  EXPECT_TRUE(client.closed_by_server(2000ms));
+  EXPECT_TRUE(eventually([&] { return reactor.server.stats().timeouts_read == 1; }));
+  EXPECT_EQ(reactor.server.stats().timeouts_idle, 0u);
+}
+
+TEST(Frontend, IdleConnectionsAreEvicted) {
+  FrontendOptions options = quiet_frontend();
+  options.idle_timeout_ms = 60;
+  Reactor reactor(small_engine(1), options);
+
+  Client client(reactor.port());
+  Request ping;
+  ping.op = Op::kPing;
+  client.send(ping);
+  ASSERT_TRUE(client.recv().has_value());
+  // Now idle: no bytes, no partial frame, no pending work.
+  EXPECT_TRUE(client.closed_by_server(2000ms));
+  EXPECT_TRUE(eventually([&] { return reactor.server.stats().timeouts_idle == 1; }));
+}
+
+TEST(Frontend, NeverReadingClientIsDisconnectedAtTheWriteQueueCap) {
+  FrontendOptions options = quiet_frontend();
+  options.max_write_queue_bytes = std::size_t{64} << 10;
+  Reactor reactor(small_engine(1), options);
+
+  Client client(reactor.port(), /*rcvbuf_bytes=*/16 << 10);
+  // Each response carries 64k values (~512 KiB); the client never reads and
+  // advertises a tiny receive window, so the kernel buffers saturate fast
+  // and the server-side queue crosses the cap.
+  Request batch;
+  batch.op = Op::kBatchQuery;
+  batch.a = seq("ACGTACGT");
+  batch.b = seq("AGTCAGTC");
+  batch.windows.resize(kMaxBatchWindows);
+  for (WindowQuery& w : batch.windows) w.kind = QueryKind::kLcs;
+  const std::string frame = frame_payload(encode_request(batch));
+  for (int i = 0; i < 8; ++i) client.send_bytes(frame);
+  EXPECT_TRUE(eventually(
+      [&] { return reactor.server.stats().write_queue_disconnects == 1; }, 10000ms))
+      << "server never disconnected the slow reader";
+}
+
+TEST(Frontend, MalformedFrameGetsAnErrorThenTheConnectionCloses) {
+  Reactor reactor(small_engine(1), quiet_frontend());
+  Client client(reactor.port());
+  // Declared length over kMaxFrameBytes: unframed stream from here on.
+  client.send_bytes(std::string_view("\xff\xff\xff\xff", 4));
+  const auto response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kError);
+  EXPECT_TRUE(client.closed_by_server());
+  EXPECT_TRUE(eventually([&] { return reactor.server.stats().protocol_errors == 1; }));
+}
+
+TEST(Frontend, FaultyEnvTearsASpecificConnectionDeterministically) {
+  // The Env socket seam: one scripted EIO on the first conn read kills that
+  // connection; the trace records it as a sockread fault.
+  FaultPlan plan;
+  plan.clock_step_ns = 1;  // keep the synthetic clock away from the timeouts
+  FaultRule rule;
+  rule.op = EnvOp::kSockRead;
+  rule.path_substring = "conn:";
+  rule.count = 1;
+  plan.rules.push_back(rule);
+  FaultyEnv env(plan);
+
+  FrontendOptions options = quiet_frontend();
+  options.env = &env;
+  Reactor reactor(small_engine(1), options);
+
+  Client doomed(reactor.port());
+  Request ping;
+  ping.op = Op::kPing;
+  doomed.send(ping);
+  EXPECT_TRUE(doomed.closed_by_server());
+  EXPECT_EQ(env.faults_injected(), 1u);
+  EXPECT_NE(env.trace_text().find("sockread"), std::string::npos);
+
+  // The next connection reads cleanly (the rule's window is spent).
+  Client fine(reactor.port());
+  fine.send(ping);
+  EXPECT_TRUE(fine.recv().has_value());
+}
+
+TEST(Frontend, ShortReadInjectionExercisesTheDecoderResumePath) {
+  // Truncate the first 32 conn reads to 3 bytes each: every frame spans
+  // multiple reads, so the decoder's carry path must reassemble them all.
+  FaultPlan plan;
+  plan.clock_step_ns = 1;
+  FaultRule rule;
+  rule.op = EnvOp::kSockRead;
+  rule.path_substring = "conn:";
+  rule.count = 32;
+  rule.short_write_bytes = 3;
+  plan.rules.push_back(rule);
+  FaultyEnv env(plan);
+
+  FrontendOptions options = quiet_frontend();
+  options.env = &env;
+  Reactor reactor(small_engine(1), options);
+
+  Client client(reactor.port());
+  client.send(lcs_request("ACGT", "AGTC"));
+  const auto response = client.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+  EXPECT_GT(response->value, 0);
+  EXPECT_GE(reactor.server.stats().partial_frames, 1u);
+}
+
+TEST(Frontend, GracefulDrainAnswersInFlightRequestsBeforeExit) {
+  // workers = 0 and no inline drain pin four computes in flight: the server
+  // has read the requests but cannot resolve them until the test drains the
+  // engine. request_stop() must then wait for all four to answer and flush
+  // before run() returns -- the shutdown path may not drop accepted work.
+  EngineOptions engine_options = small_engine(0);
+  FrontendOptions options = quiet_frontend();
+  options.drain_inline = false;
+  options.drain_timeout_ms = 5000;
+  Reactor reactor(std::move(engine_options), options);
+  Client client(reactor.port());
+  for (int i = 0; i < 4; ++i) {
+    client.send(lcs_request("ACGTACGTAC" + std::string(1, static_cast<char>('A' + i)),
+                            "AGTCAGTCAG"));
+  }
+  ASSERT_TRUE(eventually([&] { return reactor.server.stats().frames_decoded == 4; }))
+      << "requests never reached the server";
+  reactor.server.request_stop();
+  std::this_thread::sleep_for(50ms);  // let the drain begin with work in flight
+  reactor.engine.drain();             // now the pumps can resolve their futures
+  reactor.stop();                     // run() returns only after answer + flush
+  for (int i = 0; i < 4; ++i) {
+    const auto response = client.recv(1000ms);
+    ASSERT_TRUE(response.has_value()) << "request " << i << " lost in shutdown";
+    EXPECT_EQ(response->status, Status::kOk) << response->text;
+  }
+  EXPECT_FALSE(client.recv(500ms).has_value()) << "connection must close after drain";
+}
+
+TEST(Frontend, MultiClientHammerKeepsEveryConnectionConsistent) {
+  // The tsan workload: concurrent clients race the reactor loop, the pump
+  // pool and the stats snapshots.
+  Reactor reactor(small_engine(2), quiet_frontend());
+  constexpr int kClients = 4;
+  constexpr int kRequests = 40;
+  std::vector<std::thread> team;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    team.emplace_back([&, c] {
+      try {
+        Client client(reactor.port());
+        for (int i = 0; i < kRequests; ++i) {
+          // A small rotating pool: hits and misses interleave across clients.
+          const std::string a = "ACGTACGT" + std::string(1, static_cast<char>('A' + (i + c) % 3));
+          client.send(lcs_request(a, "AGTCAGTC"));
+          const auto response = client.recv();
+          if (!response || response->status != Status::kOk || response->value <= 0) {
+            ++failures;
+            return;
+          }
+          if (i % 10 == 0) {
+            Request stats;
+            stats.op = Op::kStats;
+            client.send(stats);
+            const auto s = client.recv();
+            if (!s || s->text.find("frontend_frames") == std::string::npos) {
+              ++failures;
+              return;
+            }
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const FrontendStats fs = reactor.server.stats();
+  EXPECT_EQ(fs.connections_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(fs.protocol_errors, 0u);
+}
+
+TEST(Frontend, StatsJsonSplicesFrontendCountersIntoTheEngineObject) {
+  FrontendStats fs;
+  fs.connections_accepted = 7;
+  fs.connections_shed = 2;
+  fs.retry_after_sent = 3;
+  fs.partial_frames = 11;
+  const std::string json = stats_json(EngineStats{}, fs);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"requests\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"frontend_connections\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"frontend_shed\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"frontend_retry_after_sent\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"frontend_partial_frames\": 11"), std::string::npos);
+}
+
+// --- the threaded legacy frontend ------------------------------------------
+
+struct Threaded {
+  ComparisonEngine engine;
+  ThreadedFrontend server;
+  std::thread thread;
+
+  Threaded(EngineOptions engine_options, FrontendOptions frontend_options)
+      : engine(std::move(engine_options)),
+        server(engine, std::move(frontend_options)),
+        thread([this] { server.run(); }) {}
+
+  ~Threaded() { stop(); }
+
+  void stop() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+};
+
+TEST(Frontend, ThreadedLegacyAnswersAndShedsLikeTheReactor) {
+  FrontendOptions options = quiet_frontend();
+  options.max_connections = 1;
+  Threaded threaded(small_engine(1), options);
+
+  Client admitted(threaded.server.port());
+  admitted.send(lcs_request("ACGTACGT", "AGTCAGTC"));
+  const auto response = admitted.recv();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+
+  Client shed(threaded.server.port());
+  const auto verdict = shed.recv();
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->status, Status::kOverloaded);
+  EXPECT_TRUE(shed.closed_by_server());
+  EXPECT_TRUE(eventually([&] { return threaded.server.stats().connections_shed == 1; }));
+}
+
+TEST(Frontend, ThreadedStopJoinsEverySessionBeforeReturning) {
+  // The PR 7 regression: the old server detached session threads, so run()
+  // never returned and shutdown raced engine teardown. Now request_stop()
+  // must drain in-flight work, join every session, and return -- with the
+  // response still delivered.
+  auto threaded = std::make_unique<Threaded>(small_engine(1), quiet_frontend());
+  const int port = threaded->server.port();
+  Client client(port);
+  client.send(lcs_request("ACGTACGTACGT", "AGTCAGTCAGTC"));
+  const auto response = client.recv();  // session is live mid-conversation
+  ASSERT_TRUE(response.has_value());
+
+  threaded->stop();  // joins the accept loop AND the session thread
+  EXPECT_FALSE(client.recv(1000ms).has_value()) << "session must close on stop";
+  // Destroying the harness (engine included) after stop() must be safe: no
+  // detached thread can touch the engine anymore. asan would flag it.
+  threaded.reset();
+}
+
+}  // namespace
+}  // namespace semilocal

@@ -10,10 +10,12 @@
 #include "braid/steady_ant.hpp"
 #include "core/api.hpp"
 #include "core/serialize.hpp"
+#include "engine/protocol.hpp"
 #include "lcs/dp.hpp"
 #include "oracles.hpp"
 #include "util/random.hpp"
 
+#include <numeric>
 #include <sstream>
 
 namespace semilocal {
@@ -136,6 +138,175 @@ TEST(Fuzz, SerializationSurvivesRandomKernels) {
     const auto loaded = load_kernel(buffer);
     EXPECT_EQ(loaded.permutation(), kernel.permutation());
     EXPECT_EQ(loaded.lcs(), kernel.lcs());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming frame-decoder torture suite.
+//
+// The epoll frontend reassembles protocol frames from arbitrary partial
+// reads, so the one property FrameDecoder must have is *split invariance*:
+// however a byte stream is chopped into feed() calls -- one big buffer, two
+// chunks cut at any byte, or one byte at a time -- the sequence of delivered
+// payloads, the terminal error (if any) and the leftover buffered bytes must
+// be byte-identical. These tests replay the protocol-fuzz corpus shapes
+// (random payload frames, valid encoded requests, truncations, bit flips,
+// hostile declared lengths) through every split.
+
+/// Everything observable about one decode run.
+struct StreamOutcome {
+  std::vector<std::string> payloads;
+  bool error = false;
+  std::string error_what;
+  std::size_t buffered = 0;  // meaningful only when !error
+
+  bool operator==(const StreamOutcome& other) const {
+    return payloads == other.payloads && error == other.error &&
+           error_what == other.error_what && (error || buffered == other.buffered);
+  }
+};
+
+/// Feeds `bytes` to a fresh decoder, split at the given sorted cut points.
+StreamOutcome run_decoder(const std::string& bytes, const std::vector<std::size_t>& cuts) {
+  FrameDecoder decoder;
+  StreamOutcome out;
+  const auto sink = [&out](std::string_view payload, bool /*spanned*/) {
+    out.payloads.emplace_back(payload);
+  };
+  std::size_t pos = 0;
+  try {
+    for (const std::size_t cut : cuts) {
+      decoder.feed(std::string_view(bytes).substr(pos, cut - pos), sink);
+      pos = cut;
+    }
+    decoder.feed(std::string_view(bytes).substr(pos), sink);
+    out.buffered = decoder.buffered_bytes();
+  } catch (const ProtocolError& e) {
+    out.error = true;
+    out.error_what = e.what();
+  }
+  return out;
+}
+
+Request random_request(Rng& rng) {
+  Request request;
+  request.op = Op::kBatchQuery;
+  request.a = uniform_sequence(rng.uniform(0, 24), 4, rng.engine()());
+  request.b = uniform_sequence(rng.uniform(0, 24), 4, rng.engine()());
+  const Index windows = rng.uniform(0, 6);
+  for (Index w = 0; w < windows; ++w) {
+    WindowQuery q;
+    q.kind = static_cast<QueryKind>(rng.uniform(0, 2));
+    q.x = rng.uniform(0, 16);
+    q.y = rng.uniform(0, 16);
+    request.windows.push_back(q);
+  }
+  return request;
+}
+
+TEST(Fuzz, StreamingDecoderIsSplitInvariantAtEveryByteBoundary) {
+  Rng rng(0xf00d);
+  for (int round = 0; round < 48; ++round) {
+    // A stream of 1-4 frames: random-junk payloads and valid requests mixed,
+    // then optionally truncated and/or bit-flipped -- the fuzz corpus shapes.
+    std::string stream;
+    const Index frames = rng.uniform(1, 4);
+    for (Index f = 0; f < frames; ++f) {
+      std::string payload;
+      if (rng.bernoulli(0.5)) {
+        const Index len = rng.uniform(0, 96);
+        for (Index i = 0; i < len; ++i) {
+          payload.push_back(static_cast<char>(rng.uniform(0, 255)));
+        }
+      } else {
+        payload = encode_request(random_request(rng));
+      }
+      stream += frame_payload(payload);
+    }
+    if (!stream.empty() && rng.bernoulli(0.3)) {
+      stream.resize(static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(stream.size()) - 1)));
+    }
+    if (!stream.empty() && rng.bernoulli(0.3)) {
+      const auto bit = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(stream.size()) * 8 - 1));
+      stream[bit / 8] = static_cast<char>(stream[bit / 8] ^ (1 << (bit % 8)));
+    }
+
+    const StreamOutcome whole = run_decoder(stream, {});
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+      const StreamOutcome split = run_decoder(stream, {cut});
+      ASSERT_EQ(split == whole, true)
+          << "round " << round << " cut " << cut << " of " << stream.size()
+          << ": split saw " << split.payloads.size() << " frames (error="
+          << split.error << " '" << split.error_what << "'), whole saw "
+          << whole.payloads.size() << " (error=" << whole.error << " '"
+          << whole.error_what << "')";
+    }
+    std::vector<std::size_t> every_byte(stream.size());
+    std::iota(every_byte.begin(), every_byte.end(), std::size_t{1});
+    const StreamOutcome trickle = run_decoder(stream, every_byte);
+    ASSERT_EQ(trickle == whole, true)
+        << "round " << round << ": byte-at-a-time diverged from whole-buffer";
+  }
+}
+
+TEST(Fuzz, StreamingDecoderAgreesWithTheBlockingStreamReader) {
+  Rng rng(0xbeef);
+  for (int round = 0; round < 20; ++round) {
+    std::string stream;
+    const Index frames = rng.uniform(1, 6);
+    for (Index f = 0; f < frames; ++f) {
+      stream += frame_payload(encode_request(random_request(rng)));
+    }
+    // Reference: the blocking read_frame loop the stdio path uses.
+    std::istringstream in(stream);
+    std::vector<std::string> expected;
+    while (const auto payload = read_frame(in)) expected.push_back(*payload);
+    // Byte-at-a-time through the incremental decoder.
+    std::vector<std::size_t> every_byte(stream.size());
+    std::iota(every_byte.begin(), every_byte.end(), std::size_t{1});
+    const StreamOutcome trickle = run_decoder(stream, every_byte);
+    ASSERT_FALSE(trickle.error);
+    ASSERT_EQ(trickle.buffered, 0u);
+    ASSERT_EQ(trickle.payloads, expected) << "round " << round;
+    // And the payloads decode to byte-identical requests either way.
+    for (const std::string& payload : trickle.payloads) {
+      EXPECT_EQ(encode_request(decode_request(payload)), payload);
+    }
+  }
+}
+
+TEST(Fuzz, StreamingDecoderRejectsHostileLengthsWithoutBuffering) {
+  const std::uint32_t hostile[] = {static_cast<std::uint32_t>(kMaxFrameBytes) + 1,
+                                   std::uint32_t{1} << 27, std::uint32_t{1} << 31,
+                                   0xffffffffu};
+  for (const std::uint32_t length : hostile) {
+    std::string header(4, '\0');
+    for (int i = 0; i < 4; ++i) {
+      header[static_cast<std::size_t>(i)] =
+          static_cast<char>((length >> (8 * i)) & 0xff);
+    }
+    bool sunk = false;
+    const auto sink = [&sunk](std::string_view, bool) { sunk = true; };
+    // Byte at a time: the declared length must be rejected at the 4th header
+    // byte, before any payload byte arrives and before any proportional
+    // allocation -- the decoder may buffer at most the 4 header bytes.
+    FrameDecoder trickle;
+    for (std::size_t i = 0; i < 3; ++i) {
+      trickle.feed(std::string_view(header).substr(i, 1), sink);
+      EXPECT_LE(trickle.buffered_bytes(), 3u);
+    }
+    EXPECT_THROW(trickle.feed(std::string_view(header).substr(3, 1), sink),
+                 ProtocolError)
+        << "length " << length;
+    EXPECT_LE(trickle.buffered_bytes(), 4u);
+    EXPECT_FALSE(sunk);
+    // Whole buffer (header + junk): rejected without touching the payload.
+    FrameDecoder whole;
+    EXPECT_THROW(whole.feed(header + std::string(64, 'x'), sink), ProtocolError)
+        << "length " << length;
+    EXPECT_FALSE(sunk);
   }
 }
 

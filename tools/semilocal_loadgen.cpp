@@ -15,6 +15,18 @@
 // op: one frame carries Q windows (mixed LCS / string-substring /
 // substring-string) over one pair, the window-sweep regime that the shared
 // QueryIndex accelerates.
+//
+// Open-loop mode (the overload-measurement regime; see engine/open_loop.hpp):
+//
+//   semilocal_loadgen --port P --arrival-rate R --connections C
+//                     [--duration-ms D] [--drain-ms D] [--json] [...workload]
+//
+// fires R requests/second round-robin across C persistent sockets on a fixed
+// schedule, never waiting for responses -- the latency-vs-offered-load curve
+// this produces is honest under overload where closed-loop numbers are not.
+// --json emits the OpenLoopResult as one JSON object on stdout (the bench
+// harness parses it); exit status is nonzero if any socket stalled (an
+// unanswered request with no close) or a response failed to decode.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -26,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/open_loop.hpp"
 #include "engine/protocol.hpp"
 #include "fd_stream.hpp"
 #include "util/cli.hpp"
@@ -39,7 +52,9 @@ namespace {
 int usage() {
   std::cerr << "usage: semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]\n"
                "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n"
-               "                         [--queries-per-pair Q]\n";
+               "                         [--queries-per-pair Q]\n"
+               "       semilocal_loadgen --port P --arrival-rate R --connections C\n"
+               "                         [--duration-ms D] [--drain-ms D] [--json]\n";
   return 2;
 }
 
@@ -181,7 +196,7 @@ double percentile(std::vector<double>& sorted, double q) {
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args = CliArgs::parse(argc, argv, 1, {"zipf"});
+    const CliArgs args = CliArgs::parse(argc, argv, 1, {"zipf", "json"});
     const auto port_opt = args.option("port");
     if (!port_opt) return usage();
     const int port = static_cast<int>(std::stol(*port_opt));
@@ -204,14 +219,51 @@ int main(int argc, char** argv) {
       workload.pool.emplace_back(random_dna(length, rng), random_dna(length, rng));
     }
 
+    if (const auto rate_opt = args.option("arrival-rate")) {
+      OpenLoopOptions open;
+      open.port = port;
+      open.connections = static_cast<std::size_t>(args.int_option_or("connections", 256));
+      open.arrival_rate = std::stod(*rate_opt);
+      open.duration_ms = static_cast<std::uint64_t>(args.int_option_or("duration-ms", 2000));
+      open.drain_ms = static_cast<std::uint64_t>(args.int_option_or("drain-ms", 3000));
+      Rng payload_rng(seed + 42);
+      open.next_payload = [&workload, &payload_rng] {
+        return encode_request(pick_request(workload, payload_rng));
+      };
+      const OpenLoopResult open_result = run_open_loop(open);
+      if (args.has_flag("json")) {
+        std::cout << to_json(open_result) << "\n";
+      } else {
+        std::cout << "open loop: " << open_result.connected << " conns, offered "
+                  << open.arrival_rate << " req/s, achieved "
+                  << open_result.achieved_rate << " req/s\n"
+                  << "sent: " << open_result.sent << " received: " << open_result.received
+                  << " ok: " << open_result.ok << " overloaded: " << open_result.overloaded
+                  << " errors: " << open_result.errors
+                  << " closed_early: " << open_result.closed_early
+                  << " stalled: " << open_result.stalled << "\n"
+                  << "latency ms  p50: " << open_result.p50_ms
+                  << "  p90: " << open_result.p90_ms << "  p99: " << open_result.p99_ms
+                  << "  max: " << open_result.max_ms << "\n";
+      }
+      return (open_result.stalled == 0 && open_result.decode_errors == 0) ? 0 : 1;
+    }
+
     const int per_thread = std::max(1, requests / std::max(1, threads));
     std::vector<std::thread> team;
     std::vector<ClientTotals> results(static_cast<std::size_t>(threads));
     Timer wall;
     for (int t = 0; t < threads; ++t) {
       team.emplace_back([&, t] {
-        results[static_cast<std::size_t>(t)] =
-            run_client(port, workload, per_thread, seed + 100 + static_cast<std::uint64_t>(t));
+        // An exception escaping a thread is std::terminate; a refused connect
+        // or a mid-run close must count as a client error, not kill the tool.
+        try {
+          results[static_cast<std::size_t>(t)] =
+              run_client(port, workload, per_thread, seed + 100 + static_cast<std::uint64_t>(t));
+        } catch (const std::exception& e) {
+          std::cerr << "loadgen client " << t << ": " << e.what() << "\n";
+          ++results[static_cast<std::size_t>(t)].errors;
+        }
       });
     }
     for (std::thread& t : team) t.join();

@@ -3,14 +3,21 @@
 // Speaks the length-prefixed protocol of engine/protocol.hpp. Each request
 // is answered off the engine's kernel cache when possible; misses go through
 // the batching scheduler; backpressure surfaces as an Overloaded response
-// with a retry hint instead of unbounded queueing.
+// with a retry hint (RETRY_AFTER) instead of unbounded queueing.
 //
 //   semilocal_serve --stdio [engine options]
 //       One session over stdin/stdout. Single-threaded end to end (the
 //       scheduler still batches; compute runs inline via drain()).
-//   semilocal_serve --port P [engine options]
-//       TCP server on 127.0.0.1:P (P = 0 picks a free port, printed on
-//       stderr). One thread per connection, shared engine.
+//   semilocal_serve --port P [engine options] [frontend options]
+//       Epoll reactor on 127.0.0.1:P (P = 0 picks a free port, printed on
+//       stderr): one event-loop thread for every connection, a small pump
+//       pool for cold computes, typed admission control (see
+//       engine/frontend.hpp). SIGINT/SIGTERM drain gracefully: in-flight
+//       requests answer and flush before the process exits.
+//   semilocal_serve --port P --threaded ...
+//       The legacy thread-per-connection frontend (kept for differential
+//       testing), now with joined session lifetimes instead of detached
+//       threads.
 //
 // Engine options:
 //   --store DIR      kernel store directory (default: in-memory only)
@@ -20,19 +27,29 @@
 //   --batch N        misses grouped per compute batch (default 8)
 //   --algorithm X    combing strategy (see semilocal_cli)
 //   --no-persist     do not write computed kernels to the store
-//   --no-index       answer queries via the O(m+n) scan instead of the
+//   --no-index      answer queries via the O(m+n) scan instead of the
 //                    shared QueryIndex (ablation / debugging)
 //   --dna            pack request bytes as DNA (match CLI precompute keys)
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-
+//
+// Frontend options (TCP modes):
+//   --threaded           thread-per-connection instead of the reactor
+//   --backlog N          listen(2) backlog (default 128)
+//   --max-conns N        admission gate; beyond it connections are shed
+//                        with one RETRY_AFTER frame (default 10000)
+//   --max-inflight N     per-connection pending-compute budget (default 64)
+//   --write-cap-kb N     per-connection write-queue cap (default 1024)
+//   --idle-timeout-ms N  idle connection eviction, 0 disables (default 60000)
+//   --read-timeout-ms N  slow-loris partial-frame timeout, 0 disables
+//                        (default 10000)
+//   --drain-timeout-ms N graceful-shutdown budget (default 2000)
+//   --pumps N            cold-path pump threads (default 2)
+#include <csignal>
 #include <cstring>
 #include <iostream>
-#include <thread>
 
 #include "core/api.hpp"
 #include "engine/engine.hpp"
+#include "engine/frontend.hpp"
 #include "engine/protocol.hpp"
 #include "fd_stream.hpp"
 #include "util/cli.hpp"
@@ -47,7 +64,10 @@ int usage() {
   std::cerr << "usage: semilocal_serve (--stdio | --port P) [--store DIR] [--cache-mb N]\n"
                "                       [--workers N] [--queue N] [--batch N]\n"
                "                       [--algorithm NAME] [--no-persist] [--no-index]\n"
-               "                       [--dna]\n";
+               "                       [--dna] [--threaded] [--backlog N] [--max-conns N]\n"
+               "                       [--max-inflight N] [--write-cap-kb N]\n"
+               "                       [--idle-timeout-ms N] [--read-timeout-ms N]\n"
+               "                       [--drain-timeout-ms N] [--pumps N]\n";
   return 2;
 }
 
@@ -123,7 +143,7 @@ Response handle(ComparisonEngine& engine, const ServeConfig& config,
   return response;
 }
 
-/// One session: frames in, frames out, until EOF or a framing error.
+/// One stdio session: frames in, frames out, until EOF or a framing error.
 void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::istream& in,
                    std::ostream& out) {
   while (true) {
@@ -154,52 +174,29 @@ void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::ist
   }
 }
 
-int serve_tcp(ComparisonEngine& engine, const ServeConfig& config, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "semilocal_serve: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listener, 64) != 0) {
-    std::cerr << "semilocal_serve: bind/listen: " << std::strerror(errno) << "\n";
-    ::close(listener);
-    return 1;
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
-  std::cerr << "semilocal_serve: listening on 127.0.0.1:" << ntohs(addr.sin_port)
-            << std::endl;
-  while (true) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "semilocal_serve: accept: " << std::strerror(errno) << "\n";
-      break;
-    }
-    const int nodelay = 1;
-    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    std::thread([&engine, config, conn] {
-      tools::FdStream stream(conn);  // closes conn on scope exit
-      serve_session(engine, config, stream.in, stream.out);
-    }).detach();
-  }
-  ::close(listener);
-  return 1;
+// Signal plumbing: both frontends expose an async-signal-safe request_stop().
+FrontendServer* g_reactor = nullptr;
+ThreadedFrontend* g_threaded = nullptr;
+
+void on_signal(int) {
+  if (g_reactor != nullptr) g_reactor->request_stop();
+  if (g_threaded != nullptr) g_threaded->request_stop();
+}
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // broken client sockets are per-write errors
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args =
-        CliArgs::parse(argc, argv, 1, {"stdio", "no-persist", "no-index", "dna"});
+    const CliArgs args = CliArgs::parse(
+        argc, argv, 1, {"stdio", "no-persist", "no-index", "dna", "threaded"});
     const bool stdio = args.has_flag("stdio");
     const auto port = args.option("port");
     if (stdio == port.has_value()) return usage();  // exactly one mode
@@ -228,7 +225,44 @@ int main(int argc, char** argv) {
       serve_session(engine, config, std::cin, std::cout);
       return 0;
     }
-    return serve_tcp(engine, config, static_cast<int>(std::stol(*port)));
+
+    FrontendOptions frontend;
+    frontend.port = static_cast<int>(std::stol(*port));
+    frontend.listen_backlog = static_cast<int>(args.int_option_or("backlog", 128));
+    frontend.max_connections =
+        static_cast<std::size_t>(args.int_option_or("max-conns", 10000));
+    frontend.max_inflight_per_conn =
+        static_cast<std::size_t>(args.int_option_or("max-inflight", 64));
+    frontend.max_write_queue_bytes =
+        static_cast<std::size_t>(args.int_option_or("write-cap-kb", 1024)) << 10;
+    frontend.idle_timeout_ms =
+        static_cast<std::uint64_t>(args.int_option_or("idle-timeout-ms", 60'000));
+    frontend.read_timeout_ms =
+        static_cast<std::uint64_t>(args.int_option_or("read-timeout-ms", 10'000));
+    frontend.drain_timeout_ms =
+        static_cast<std::uint64_t>(args.int_option_or("drain-timeout-ms", 2'000));
+    frontend.pump_threads = static_cast<int>(args.int_option_or("pumps", 2));
+    frontend.dna = config.dna;
+    frontend.drain_inline = config.inline_compute;
+
+    if (args.has_flag("threaded")) {
+      ThreadedFrontend server(engine, frontend);
+      g_threaded = &server;
+      install_signal_handlers();
+      std::cerr << "semilocal_serve: listening on 127.0.0.1:" << server.port()
+                << " (threaded)" << std::endl;
+      server.run();
+      g_threaded = nullptr;
+    } else {
+      FrontendServer server(engine, frontend);
+      g_reactor = &server;
+      install_signal_handlers();
+      std::cerr << "semilocal_serve: listening on 127.0.0.1:" << server.port()
+                << " (reactor)" << std::endl;
+      server.run();
+      g_reactor = nullptr;
+    }
+    return 0;
   } catch (const std::exception& e) {
     std::cerr << "semilocal_serve: " << e.what() << "\n";
     return 1;
