@@ -213,6 +213,11 @@ struct FrontendServer::Impl {
     std::uint64_t frame_start_ns = 0;  // != 0 while a partial frame pends
     bool want_write = false;
     bool close_after_flush = false;
+    /// Set on ProtocolError: the decoder is poisoned (no frame boundary to
+    /// resynchronize on), so this socket must never be read again -- further
+    /// bytes would re-parse misaligned as bogus frames, and the responses
+    /// they generate would postpone the close_after_flush close forever.
+    bool read_closed = false;
     /// Set by close_conn. The Conn object itself outlives the close until
     /// the end of the event-loop iteration (see graveyard): a handler that
     /// closes a connection from inside FrameDecoder::feed must not free the
@@ -280,9 +285,16 @@ struct FrontendServer::Impl {
       errno = err;
       throw_errno("frontend: epoll/eventfd");
     }
-    watch(listener, kListenerTag, EPOLLIN);
-    watch(stop_fd, kStopTag, EPOLLIN);
-    watch(completion_fd, kCompletionTag, EPOLLIN);
+    try {
+      watch(listener, kListenerTag, EPOLLIN);
+      watch(stop_fd, kStopTag, EPOLLIN);
+      watch(completion_fd, kCompletionTag, EPOLLIN);
+    } catch (...) {
+      // ~Impl never runs for a partially constructed object; sweep the four
+      // live descriptors here or they leak.
+      close_fds();
+      throw;
+    }
   }
 
   ~Impl() { close_fds(); }
@@ -315,6 +327,12 @@ struct FrontendServer::Impl {
   }
 
   [[nodiscard]] std::uint64_t now_ms() { return env->now_ns() / 1'000'000; }
+
+  /// EPOLLIN interest for a connection: none while draining or once its
+  /// decoder is poisoned (read_closed).
+  [[nodiscard]] std::uint32_t read_interest(const Conn& conn) const {
+    return (draining || conn.read_closed) ? 0u : static_cast<std::uint32_t>(EPOLLIN);
+  }
 
   // -- connection lifecycle -------------------------------------------------
 
@@ -371,6 +389,7 @@ struct FrontendServer::Impl {
   // -- read path ------------------------------------------------------------
 
   void read_ready(Conn& conn) {
+    if (conn.read_closed) return;
     char buf[1 << 16];
     const long n = env->fd_read(conn.fd, buf, sizeof(buf), conn.label);
     if (n == 0) {  // peer hung up
@@ -398,9 +417,14 @@ struct FrontendServer::Impl {
       // The stream is unframed from here on; report and hang up.
       counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       if (!conn.dead) {
-        push_response(conn, error_response(e.what()));
+        conn.read_closed = true;
         conn.close_after_flush = true;
-        flush(conn);
+        push_response(conn, error_response(e.what()));  // flushes internally
+        // flush rearms only on want_write edges; drop EPOLLIN unconditionally
+        // so a hostile sender cannot keep the poisoned stream alive.
+        if (!conn.dead) {
+          rearm(conn, conn.want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+        }
       }
       return;
     }
@@ -515,19 +539,12 @@ struct FrontendServer::Impl {
       close_conn(conn.id);  // write error: the peer is gone
       return;
     }
-    if (conn.out_off == conn.out.size()) {
-      conn.out.clear();
-      conn.out_off = 0;
-      if (conn.want_write) {
-        conn.want_write = false;
-        rearm(conn, draining ? 0 : EPOLLIN);
-      }
-      if (conn.close_after_flush && conn.pending.empty()) close_conn(conn.id);
-      return;
-    }
-    // Slow client: queued bytes are the unsent flush buffer plus framed
-    // responses parked behind an unready slot. Past the cap, disconnect --
-    // backpressure must never become unbounded server memory.
+    // Queued bytes are the unsent flush buffer plus framed responses parked
+    // behind an unready slot. Past the cap, disconnect -- backpressure must
+    // never become unbounded server memory. Checked before the drained-buffer
+    // early return below: a cold compute holding the FIFO head parks every
+    // later warm response in pending while out stays empty, and that shape
+    // must be bounded exactly like a saturated socket.
     const std::size_t queued =
         (conn.out.size() - conn.out_off) + conn.pending_ready_bytes;
     if (queued > options.max_write_queue_bytes) {
@@ -535,9 +552,19 @@ struct FrontendServer::Impl {
       close_conn(conn.id);
       return;
     }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+      if (conn.want_write) {
+        conn.want_write = false;
+        rearm(conn, read_interest(conn));
+      }
+      if (conn.close_after_flush && conn.pending.empty()) close_conn(conn.id);
+      return;
+    }
     if (!conn.want_write) {
       conn.want_write = true;
-      rearm(conn, (draining ? 0 : EPOLLIN) | EPOLLOUT);
+      rearm(conn, read_interest(conn) | EPOLLOUT);
     }
   }
 
@@ -650,7 +677,7 @@ struct FrontendServer::Impl {
     listener = -1;
     // Stop reading: in-flight requests finish, new bytes are ignored.
     for (const auto& [id, conn] : conns) {
-      rearm(*conn, conn->want_write ? EPOLLOUT : 0);
+      rearm(*conn, conn->want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
     }
   }
 
@@ -776,6 +803,7 @@ struct ThreadedFrontend::Impl {
 
   std::mutex sessions_mutex;
   std::vector<std::unique_ptr<Session>> sessions;
+  std::uint64_t next_session_id = 1;  // only the accept loop touches it
 
   Impl(ComparisonEngine& eng, FrontendOptions opts)
       : engine(eng), options(std::move(opts)), env(options.env ? options.env : &real_env()) {
@@ -926,7 +954,10 @@ struct ThreadedFrontend::Impl {
       auto session = std::make_unique<Session>();
       session->fd = fd;
       Session* raw = session.get();
-      const std::string label = "conn:" + std::to_string(fd);
+      // A monotonic session id, not the fd: fd numbers recycle after close,
+      // which would let a FaultPlan rule aimed at one connection fire on a
+      // later unrelated session.
+      const std::string label = "conn:" + std::to_string(next_session_id++);
       session->thread = std::thread([this, raw, label] { session_loop(*raw, label); });
       std::lock_guard lock(sessions_mutex);
       sessions.push_back(std::move(session));

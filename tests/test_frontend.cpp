@@ -398,6 +398,78 @@ TEST(Frontend, NeverReadingClientIsDisconnectedAtTheWriteQueueCap) {
       << "server never disconnected the slow reader";
 }
 
+TEST(Frontend, ResponsesParkedBehindAColdHeadStillHitTheWriteQueueCap) {
+  // The unbounded-parking regression: a cold request holds the FIFO head, so
+  // every later warm response parks in pending with the flush buffer empty
+  // and the socket never written. The cap must bound those parked bytes too,
+  // not only the saturated-socket path.
+  EngineOptions engine_options = small_engine(0);  // cold never resolves alone
+  FrontendOptions options = quiet_frontend();
+  options.drain_inline = false;
+  options.max_write_queue_bytes = std::size_t{64} << 10;
+  Reactor reactor(std::move(engine_options), options);
+
+  Client client(reactor.port());
+  // Warm one pair into the cache so batch queries on it answer inline.
+  client.send(lcs_request("ACGTACGT", "AGTCAGTC"));
+  ASSERT_TRUE(eventually([&] { return reactor.engine.stats().scheduler.queue_depth == 1; }));
+  reactor.engine.drain();
+  ASSERT_TRUE(client.recv().has_value());
+
+  // The cold head: a distinct pair nothing will resolve.
+  client.send(lcs_request("GGGGTTTT", "TTTTGGGG"));
+
+  // One warm ~512 KiB batch response parks behind the gap and must cross the
+  // 64 KiB cap without a single socket write.
+  Request batch;
+  batch.op = Op::kBatchQuery;
+  batch.a = seq("ACGTACGT");
+  batch.b = seq("AGTCAGTC");
+  batch.windows.resize(kMaxBatchWindows);
+  for (WindowQuery& w : batch.windows) w.kind = QueryKind::kLcs;
+  client.send(batch);
+
+  EXPECT_TRUE(eventually(
+      [&] { return reactor.server.stats().write_queue_disconnects == 1; }))
+      << "ready bytes parked behind the cold head were never capped";
+  EXPECT_TRUE(client.closed_by_server());
+  reactor.engine.drain();  // release the pump's future before teardown
+}
+
+TEST(Frontend, PoisonedStreamIsNeverReadAgainAfterProtocolError) {
+  // After a ProtocolError the decoder has no frame boundary to resynchronize
+  // on. A cold request keeps pending non-empty, so close_after_flush is
+  // deferred -- the server must stop reading, or the pipelined pings below
+  // would re-parse as frames and generate responses that postpone the close.
+  EngineOptions engine_options = small_engine(0);
+  FrontendOptions options = quiet_frontend();
+  options.drain_inline = false;
+  Reactor reactor(std::move(engine_options), options);
+
+  Client client(reactor.port());
+  client.send(lcs_request("ACGTACGT", "AGTCAGTC"));  // cold: holds the FIFO head
+  ASSERT_TRUE(eventually([&] { return reactor.server.stats().frames_decoded == 1; }));
+  client.send_bytes(std::string_view("\xff\xff\xff\xff", 4));  // poison
+  ASSERT_TRUE(eventually([&] { return reactor.server.stats().protocol_errors == 1; }));
+
+  Request ping;
+  ping.op = Op::kPing;
+  for (int i = 0; i < 16; ++i) client.send(ping);
+  std::this_thread::sleep_for(100ms);  // time for the server to (wrongly) read
+  EXPECT_EQ(reactor.server.stats().frames_decoded, 1u)
+      << "bytes after the poison frame must never reach the decoder";
+
+  reactor.engine.drain();  // resolve the cold head so the close can fire
+  const auto first = client.recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, Status::kOk);
+  const auto second = client.recv();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, Status::kError);
+  EXPECT_FALSE(client.recv(2000ms).has_value()) << "connection must close, no pongs";
+  EXPECT_EQ(reactor.server.stats().frames_decoded, 1u);
+}
+
 TEST(Frontend, MalformedFrameGetsAnErrorThenTheConnectionCloses) {
   Reactor reactor(small_engine(1), quiet_frontend());
   Client client(reactor.port());
