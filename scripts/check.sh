@@ -27,6 +27,12 @@
 # nor a close), or if the overload accounting disagreed between server and
 # client (shed_mismatch != 0).
 #
+# The shard label slice is re-run under ASan as well: the router leases
+# pooled connections across threads, discards them from hedge losers, and
+# parses health JSON off the wire -- lifetime and parse bugs ASan catches.
+# The bench gate additionally enforces the shard_sweep contract: zero wrong
+# answers anywhere, and >= 2.5x aggregate throughput at 4 shards vs 1.
+#
 # The serve gate then stands up the real semilocal_serve reactor and fires
 # the open-loop loadgen at it: 10000 concurrent sockets at 5000 req/s, which
 # must finish with zero stalled sockets (loadgen exits nonzero otherwise),
@@ -77,6 +83,13 @@ if ! ctest --preset asan -N -L 'frontend' | grep -q 'Total Tests: [1-9]'; then
 fi
 ctest --preset asan -j "$jobs" -L 'frontend'
 
+echo "==> shard slice under ASan"
+if ! ctest --preset asan -N -L 'shard' | grep -q 'Total Tests: [1-9]'; then
+  echo "error: no tests carry the shard label" >&2
+  exit 1
+fi
+ctest --preset asan -j "$jobs" -L 'shard'
+
 echo "==> bench gate: mmap happy path + frontend sweep (scaled bench_engine)"
 cmake --build --preset release -j "$jobs" --target bench_engine >/dev/null
 # Run from the build dir so the committed results/ JSON is not clobbered.
@@ -98,6 +111,19 @@ if grep -Eq '"shed_mismatch": *-?[1-9]' build/release/results/bench_engine.json;
 fi
 if grep -Eq '"decode_errors": *[1-9]' build/release/results/bench_engine.json; then
   echo "error: frontend-sweep client failed to decode a response frame" >&2
+  exit 1
+fi
+if grep -Eq '"wrong_answers": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: a shard-sweep leg returned a wrong answer (oracle mismatch)" >&2
+  grep -o '"wrong_answers": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+# The headline sharding claim, enforced: aggregate warm throughput at 4
+# shards must be >= 2.5x the 1-shard leg at the same offered rate.
+speedup=$(grep -o '"speedup_4x_vs_1x": *[0-9.]*' build/release/results/bench_engine.json \
+          | head -n1 | grep -o '[0-9.]*$')
+if ! awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 2.5) }'; then
+  echo "error: shard_sweep speedup_4x_vs_1x=${speedup:-unset} < 2.5" >&2
   exit 1
 fi
 
@@ -146,6 +172,64 @@ if [[ "${SKIP_SERVE_GATE:-0}" != "1" ]]; then
   # before its close, and nothing may stall (loadgen already exited 0).
   if ! grep -Eq '"overloaded": *1[0-9][0-9]' build/release/serve_gate_shed.json; then
     echo "error: admission leg did not shed ~150 connections with RETRY_AFTER frames" >&2
+    exit 1
+  fi
+
+  # Failover leg: three real backends behind the consistent-hash router,
+  # kill -9 one of them mid-load. The oracle contract under churn: loadgen
+  # --verify exits nonzero on any wrong answer or stalled socket; a dead
+  # backend may cost latency or a typed RETRY_AFTER, never a lie.
+  echo "==> shard failover gate: kill one of three backends mid-load"
+  cmake --build --preset release -j "$jobs" --target semilocal_router >/dev/null
+  shard_pids=()
+  shard_ports=()
+  for i in 0 1 2; do
+    build/release/tools/semilocal_serve --port 0 --no-persist \
+      > "build/release/shard_gate_port_$i.txt" 2>/dev/null &
+    shard_pids[i]=$!
+  done
+  router_pid=""
+  cleanup_failover() {
+    [[ -n "$router_pid" ]] && kill "$router_pid" 2>/dev/null || true
+    for pid in "${shard_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  }
+  trap cleanup_failover EXIT
+  for i in 0 1 2; do
+    for _ in $(seq 50); do
+      [[ -s "build/release/shard_gate_port_$i.txt" ]] && break
+      sleep 0.1
+    done
+    shard_ports[i]=$(head -n1 "build/release/shard_gate_port_$i.txt")
+  done
+  build/release/tools/semilocal_router --port 0 \
+    --shards "${shard_ports[0]},${shard_ports[1]},${shard_ports[2]}" \
+    --replicas 2 --probe-interval-ms 100 --unhealthy-after 2 --hedge-ms 100 \
+    > build/release/shard_gate_router.txt 2>/dev/null &
+  router_pid=$!
+  for _ in $(seq 50); do
+    [[ -s build/release/shard_gate_router.txt ]] && break
+    sleep 0.1
+  done
+  router_port=$(head -n1 build/release/shard_gate_router.txt)
+  for _ in $(seq 50); do
+    if build/release/tools/semilocal_loadgen --port "$router_port" --requests 1 \
+         --pairs 1 --length 64 --threads 1 >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  ( sleep 1; kill -9 "${shard_pids[0]}" 2>/dev/null ) &
+  killer_pid=$!
+  build/release/tools/semilocal_loadgen --port "$router_port" \
+    --arrival-rate 400 --connections 16 --duration-ms 2500 --drain-ms 5000 \
+    --pairs 8 --length 256 --verify --json | tee build/release/serve_gate_failover.json
+  wait "$killer_pid" 2>/dev/null || true
+  cleanup_failover
+  trap - EXIT
+  if ! grep -q '"wrong_answers": 0' build/release/serve_gate_failover.json; then
+    echo "error: failover leg returned a wrong answer after a backend was killed" >&2
+    exit 1
+  fi
+  if ! grep -q '"stalled_sockets": 0' build/release/serve_gate_failover.json; then
+    echo "error: failover leg stalled a socket after a backend was killed" >&2
     exit 1
   fi
 fi

@@ -1,5 +1,7 @@
 #include "engine/engine.hpp"
 
+#include <unistd.h>
+
 namespace semilocal {
 namespace {
 
@@ -25,7 +27,8 @@ ComparisonEngine::ComparisonEngine(EngineOptions options)
     : options_(with_env(std::move(options))),
       env_(options_.env ? options_.env : &real_env()),
       store_(options_.store),
-      scheduler_(store_, options_.scheduler, &latency_, &counters_) {}
+      scheduler_(store_, options_.scheduler, &latency_, &counters_),
+      start_ns_(env_->now_ns()) {}
 
 std::shared_future<CachedKernelPtr> ComparisonEngine::entry_async(SequenceView a,
                                                                   SequenceView b) {
@@ -89,6 +92,9 @@ std::string stats_json(const EngineStats& s) {
     out += std::to_string(value);
     if (!last) out += ", ";
   };
+  field("stats_version", kStatsVersion);
+  field("pid", s.pid);
+  field("uptime_ms", s.uptime_ms);
   field("requests", s.requests);
   field("cache_hits", s.store.cache.hits);
   field("cache_misses", s.store.cache.misses);
@@ -130,6 +136,15 @@ std::string stats_json(const EngineStats& s) {
   return out;
 }
 
+std::string health_json(const EngineStats& s) {
+  std::string out = "{\"stats_version\": " + std::to_string(kStatsVersion);
+  out += ", \"pid\": " + std::to_string(s.pid);
+  out += ", \"uptime_ms\": " + std::to_string(s.uptime_ms);
+  out += ", \"requests\": " + std::to_string(s.requests);
+  out += "}";
+  return out;
+}
+
 EngineStats ComparisonEngine::stats() const {
   return EngineStats{
       .requests = requests_.load(std::memory_order_relaxed),
@@ -144,7 +159,9 @@ EngineStats ComparisonEngine::stats() const {
                          counters_.compressed.load(std::memory_order_relaxed),
                      .blocks_decoded =
                          counters_.blocks_decoded.load(std::memory_order_relaxed)},
-      .latency = latency_.snapshot()};
+      .latency = latency_.snapshot(),
+      .uptime_ms = (env_->now_ns() - start_ns_) / 1'000'000,
+      .pid = static_cast<std::int64_t>(::getpid())};
 }
 
 }  // namespace semilocal

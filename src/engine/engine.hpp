@@ -48,12 +48,20 @@ struct EngineOptions {
   Env* env = nullptr;
 };
 
+/// stats_json format version; bumped when fields change meaning (additions
+/// do not bump it). Health probes use it to refuse incompatible peers.
+inline constexpr std::int64_t kStatsVersion = 2;
+
 struct EngineStats {
   std::uint64_t requests = 0;  ///< kernel acquisitions (all query kinds)
   KernelStoreStats store;
   SchedulerStats scheduler;
   QueryStats queries;
   LatencyRecorder::Percentiles latency;
+  /// Identity fields for health probes: a restarted backend shows a new pid
+  /// and a reset uptime, which shardctl status and the router prober report.
+  std::uint64_t uptime_ms = 0;
+  std::int64_t pid = 0;
 
   /// Fraction of requests served from the in-memory cache.
   [[nodiscard]] double cache_hit_rate() const {
@@ -69,6 +77,12 @@ struct EngineStats {
 /// store_quarantined, store_pending_persists, and degraded_mode (1 while
 /// any entry is cache-only awaiting a persist retry).
 std::string stats_json(const EngineStats& stats);
+
+/// Compact identity document answered on Op::kHealth: stats_version, pid,
+/// uptime_ms, requests. A prober that remembers (pid, uptime_ms) can tell a
+/// restarted backend (new pid, or the same pid with a smaller uptime) from a
+/// live one without pulling the full stats object.
+std::string health_json(const EngineStats& stats);
 
 class ComparisonEngine {
  public:
@@ -120,6 +134,7 @@ class ComparisonEngine {
   LatencyRecorder latency_;
   QueryCounters counters_;
   KernelScheduler scheduler_;
+  std::uint64_t start_ns_ = 0;  ///< construction time; stats() uptime base
   std::atomic<std::uint64_t> requests_{0};
 };
 

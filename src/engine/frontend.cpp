@@ -151,11 +151,10 @@ Response answer_with_entry(ComparisonEngine& engine, const CachedKernel& entry,
   return response;
 }
 
-}  // namespace
-
-std::string stats_json(const EngineStats& stats, const FrontendStats& f) {
-  std::string out = stats_json(stats);
-  out.pop_back();  // reopen the object: the engine JSON ends with '}'
+/// Splices the frontend_* counters into a flat JSON object (engine stats or
+/// a handler's own stats document -- both end with '}').
+void append_frontend_fields(std::string& out, const FrontendStats& f) {
+  out.pop_back();  // reopen the object
   const auto field = [&out](const char* name, std::uint64_t value) {
     out += ", \"";
     out += name;
@@ -176,6 +175,13 @@ std::string stats_json(const EngineStats& stats, const FrontendStats& f) {
   field("frontend_inline_answers", f.inline_answers);
   field("frontend_pump_answers", f.pump_answers);
   out += "}";
+}
+
+}  // namespace
+
+std::string stats_json(const EngineStats& stats, const FrontendStats& f) {
+  std::string out = stats_json(stats);
+  append_frontend_fields(out, f);
   return out;
 }
 
@@ -239,7 +245,7 @@ struct FrontendServer::Impl {
     std::string bytes;  // framed response
   };
 
-  ComparisonEngine& engine;
+  ComparisonEngine* engine;  ///< nullptr in handler mode
   FrontendOptions options;
   Env* env;
   Counters counters;
@@ -269,8 +275,11 @@ struct FrontendServer::Impl {
   bool draining = false;
   std::uint64_t drain_deadline_ns = 0;
 
-  Impl(ComparisonEngine& eng, FrontendOptions opts)
+  Impl(ComparisonEngine* eng, FrontendOptions opts)
       : engine(eng), options(std::move(opts)), env(options.env ? options.env : &real_env()) {
+    if (engine == nullptr && !options.handler) {
+      throw std::invalid_argument("frontend: handler mode requires a handler");
+    }
     raise_fd_limit();
     auto [fd, port] = make_listener(options.port, options.listen_backlog,
                                     /*non_blocking=*/true);
@@ -449,16 +458,61 @@ struct FrontendServer::Impl {
       push_response(conn, error_response(e.what()));
       return;
     }
+    if (options.handler) {
+      // Handler mode (the shard router): kStats answers inline with the
+      // frontend counters spliced in; everything else -- including kPing,
+      // whose answer asserts this process, not a backend, is alive -- rides
+      // a pump ticket, because the handler may block on downstream sockets.
+      if (request.op == Op::kStats) {
+        Response response;
+        try {
+          response = options.handler(request);
+        } catch (const std::exception& e) {
+          response = error_response(e.what());
+        }
+        if (response.status == Status::kOk && !response.text.empty() &&
+            response.text.back() == '}') {
+          append_frontend_fields(response.text, counters.snapshot());
+        }
+        counters.inline_answers.fetch_add(1, std::memory_order_relaxed);
+        push_response(conn, std::move(response));
+        return;
+      }
+      if (conn.inflight >= options.max_inflight_per_conn) {
+        counters.retry_after.fetch_add(1, std::memory_order_relaxed);
+        push_response(conn, overloaded_response(options.admission_retry_ms,
+                                                "per-connection in-flight limit"));
+        return;
+      }
+      const std::uint64_t seq = conn.next_seq++;
+      conn.pending.push_back(Pending{seq, false, {}});
+      ++conn.inflight;
+      {
+        std::lock_guard lock(pump_mutex);
+        pump_queue.push_back(Ticket{conn.id, seq, {}, std::move(request)});
+      }
+      pump_ready.notify_one();
+      return;
+    }
     switch (request.op) {
       case Op::kPing:
         push_response(conn, Response{});
         return;
       case Op::kStats: {
         Response response;
-        response.text = stats_json(engine.stats(), counters.snapshot());
+        response.text = stats_json(engine->stats(), counters.snapshot());
         push_response(conn, std::move(response));
         return;
       }
+      case Op::kHealth: {
+        Response response;
+        response.text = health_json(engine->stats());
+        push_response(conn, std::move(response));
+        return;
+      }
+      case Op::kShardCtl:
+        push_response(conn, error_response("shardctl: not a router"));
+        return;
       default:
         break;
     }
@@ -474,7 +528,7 @@ struct FrontendServer::Impl {
     request.b = ingest(options.dna, std::move(request.b));
     std::shared_future<CachedKernelPtr> future;
     try {
-      future = engine.entry_async(request.a, request.b);
+      future = engine->entry_async(request.a, request.b);
     } catch (const EngineOverloaded& e) {
       // Scheduler backpressure: forward the retry hint as a typed frame.
       counters.retry_after.fetch_add(1, std::memory_order_relaxed);
@@ -489,7 +543,7 @@ struct FrontendServer::Impl {
       // cached entry are O(log n) descents -- microseconds, not stalls.
       Response response;
       try {
-        response = answer_with_entry(engine, *future.get(), request);
+        response = answer_with_entry(*engine, *future.get(), request);
       } catch (const std::exception& e) {
         response = error_response(e.what());
       }
@@ -586,17 +640,21 @@ struct FrontendServer::Impl {
       Response response;
       bool abandoned = false;
       try {
-        if (options.drain_inline) engine.drain();
-        while (ticket.future.wait_for(std::chrono::milliseconds(50)) !=
-               std::future_status::ready) {
-          if (hard_stop.load(std::memory_order_relaxed)) {
-            abandoned = true;
-            break;
+        if (options.handler) {
+          response = options.handler(ticket.request);
+        } else {
+          if (options.drain_inline) engine->drain();
+          while (ticket.future.wait_for(std::chrono::milliseconds(50)) !=
+                 std::future_status::ready) {
+            if (hard_stop.load(std::memory_order_relaxed)) {
+              abandoned = true;
+              break;
+            }
+            if (options.drain_inline) engine->drain();
           }
-          if (options.drain_inline) engine.drain();
-        }
-        if (!abandoned) {
-          response = answer_with_entry(engine, *ticket.future.get(), ticket.request);
+          if (!abandoned) {
+            response = answer_with_entry(*engine, *ticket.future.get(), ticket.request);
+          }
         }
       } catch (const EngineOverloaded& e) {
         response = overloaded_response(e.retry_after_ms(), e.what());
@@ -771,7 +829,10 @@ struct FrontendServer::Impl {
 };
 
 FrontendServer::FrontendServer(ComparisonEngine& engine, FrontendOptions options)
-    : impl_(std::make_unique<Impl>(engine, std::move(options))) {}
+    : impl_(std::make_unique<Impl>(&engine, std::move(options))) {}
+
+FrontendServer::FrontendServer(FrontendOptions options)
+    : impl_(std::make_unique<Impl>(nullptr, std::move(options))) {}
 
 FrontendServer::~FrontendServer() = default;
 
@@ -826,6 +887,12 @@ struct ThreadedFrontend::Impl {
           break;
         case Op::kStats:
           response.text = stats_json(engine.stats(), counters.snapshot());
+          break;
+        case Op::kHealth:
+          response.text = health_json(engine.stats());
+          break;
+        case Op::kShardCtl:
+          response = error_response("shardctl: not a router");
           break;
         default: {
           const Sequence a = ingest(options.dna, request.a);

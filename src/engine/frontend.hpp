@@ -38,6 +38,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -83,6 +84,13 @@ struct FrontendOptions {
   bool drain_inline = false;
   /// Clock + socket-I/O seam. nullptr = real_env().
   Env* env = nullptr;
+  /// Handler mode: when set, the reactor serves this callable instead of an
+  /// engine -- every decoded request rides a pump ticket and is answered by
+  /// handler(request) (which may block on downstream I/O; that is what the
+  /// pump pool is for). kStats is the one inline exception: the handler's
+  /// JSON gets this frontend's frontend_* counters spliced in, same as the
+  /// engine path. This is how the shard router reuses the reactor loop.
+  std::function<Response(const Request&)> handler;
 };
 
 /// Plain-value snapshot of the frontend counters (stats JSON: frontend_*).
@@ -112,6 +120,9 @@ std::string stats_json(const EngineStats& stats, const FrontendStats& frontend);
 class FrontendServer {
  public:
   FrontendServer(ComparisonEngine& engine, FrontendOptions options);
+  /// Engine-less handler mode (options.handler must be set; throws
+  /// std::invalid_argument otherwise). The shard router's frontend.
+  explicit FrontendServer(FrontendOptions options);
   ~FrontendServer();
   FrontendServer(const FrontendServer&) = delete;
   FrontendServer& operator=(const FrontendServer&) = delete;

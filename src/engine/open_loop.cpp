@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -30,11 +31,18 @@ std::uint64_t mono_ns() {
           .count());
 }
 
+/// One in-flight request: its send timestamp plus the oracle's expected
+/// value (-1 = unverifiable). Strict FIFO per connection, like the protocol.
+struct PendingSend {
+  std::uint64_t send_ns = 0;
+  Index expected = -1;
+};
+
 struct ClientConn {
   int fd = -1;
   FrameDecoder decoder;
-  std::deque<std::uint64_t> outstanding;  // send timestamps, FIFO
-  std::string out;                        // unsent framed bytes
+  std::deque<PendingSend> outstanding;  // FIFO, matched response-by-response
+  std::string out;                      // unsent framed bytes
   std::size_t out_off = 0;
   bool closed = false;
 };
@@ -97,6 +105,8 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
   std::vector<double> latencies_ms;
   latencies_ms.reserve(static_cast<std::size_t>(
       options.arrival_rate * static_cast<double>(options.duration_ms) / 1000.0) + 16);
+  std::map<int, std::vector<double>> shard_latencies_ms;  // by response.shard
+  std::uint64_t last_response_ns = 0;
 
   const auto close_conn = [&](ClientConn& conn) {
     if (conn.fd >= 0) ::close(conn.fd);
@@ -125,19 +135,30 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
             std::string_view(buf, static_cast<std::size_t>(n)),
             [&](std::string_view payload, bool /*spanned*/) {
               ++result.received;
+              last_response_ns = now;
+              double latency_ms = -1.0;
+              Index expected = -1;
               if (!conn.outstanding.empty()) {
-                latencies_ms.push_back(
-                    static_cast<double>(now - conn.outstanding.front()) / 1e6);
+                latency_ms =
+                    static_cast<double>(now - conn.outstanding.front().send_ns) / 1e6;
+                expected = conn.outstanding.front().expected;
+                latencies_ms.push_back(latency_ms);
                 conn.outstanding.pop_front();
               }
               try {
                 const Response response = decode_response(payload);
                 if (response.status == Status::kOk) {
                   ++result.ok;
+                  if (expected >= 0 && response.value != expected) {
+                    ++result.wrong_answers;
+                  }
                 } else if (response.status == Status::kOverloaded) {
                   ++result.overloaded;
                 } else {
                   ++result.errors;
+                }
+                if (response.shard >= 0 && latency_ms >= 0.0) {
+                  shard_latencies_ms[response.shard].push_back(latency_ms);
                 }
               } catch (const ProtocolError&) {
                 ++result.decode_errors;
@@ -194,7 +215,8 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
       ClientConn& conn = conns[rr % conns.size()];
       ++rr;
       conn.out += frame_payload(options.next_payload());
-      conn.outstanding.push_back(mono_ns());
+      conn.outstanding.push_back(PendingSend{
+          mono_ns(), options.next_expected ? options.next_expected() : Index{-1}});
       ++result.sent;
       pump_writes(conn);
     }
@@ -242,14 +264,28 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
   }
   ::close(epoll_fd);
 
-  const double elapsed_s = static_cast<double>(mono_ns() - start_ns) / 1e9;
+  const double send_elapsed_s = static_cast<double>(mono_ns() - start_ns) / 1e9;
   result.achieved_rate =
-      elapsed_s > 0 ? static_cast<double>(result.sent) / elapsed_s : 0.0;
+      send_elapsed_s > 0 ? static_cast<double>(result.sent) / send_elapsed_s : 0.0;
+  // Throughput legs want ok / elapsed_s: window start to the last response,
+  // so drain slack does not dilute the rate of a run that finished early.
+  result.elapsed_s = last_response_ns > start_ns
+                         ? static_cast<double>(last_response_ns - start_ns) / 1e9
+                         : send_elapsed_s;
   std::sort(latencies_ms.begin(), latencies_ms.end());
   result.p50_ms = percentile(latencies_ms, 0.50);
   result.p90_ms = percentile(latencies_ms, 0.90);
   result.p99_ms = percentile(latencies_ms, 0.99);
   result.max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  for (auto& [shard, samples] : shard_latencies_ms) {
+    std::sort(samples.begin(), samples.end());
+    OpenLoopShardResult per;
+    per.shard = shard;
+    per.received = samples.size();
+    per.p50_ms = percentile(samples, 0.50);
+    per.p99_ms = percentile(samples, 0.99);
+    result.per_shard.push_back(per);
+  }
   return result;
 }
 
@@ -280,12 +316,25 @@ std::string to_json(const OpenLoopResult& r) {
   u64("decode_errors", r.decode_errors);
   u64("closed_early", r.closed_early);
   u64("stalled_sockets", r.stalled);
+  u64("wrong_answers", r.wrong_answers);
   dbl("achieved_rate", r.achieved_rate);
+  dbl("elapsed_s", r.elapsed_s);
   dbl("p50_ms", r.p50_ms);
   dbl("p90_ms", r.p90_ms);
   dbl("p99_ms", r.p99_ms);
   dbl("max_ms", r.max_ms);
-  out += "}";
+  out += ", \"per_shard\": [";
+  for (std::size_t i = 0; i < r.per_shard.size(); ++i) {
+    const OpenLoopShardResult& per = r.per_shard[i];
+    if (i != 0) out += ", ";
+    out += "{\"shard\": " + std::to_string(per.shard) +
+           ", \"received\": " + std::to_string(per.received);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+                  per.p50_ms, per.p99_ms);
+    out += buf;
+  }
+  out += "]}";
   return out;
 }
 

@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
+
+#include "util/types.hpp"
 
 namespace semilocal {
 
@@ -37,6 +40,21 @@ struct OpenLoopOptions {
   /// Produces each request's payload (unframed; the runner frames it).
   /// Called once per send, in send order.
   std::function<std::string()> next_payload;
+  /// Optional oracle: called once per send, immediately after next_payload,
+  /// returning the value a correct kOk response must carry (-1 = this
+  /// request is unverifiable, e.g. a batch). Matched FIFO per connection
+  /// like the latency samples; a verified mismatch counts a wrong_answer --
+  /// the failover gate's red flag, because a router under churn may refuse
+  /// (typed RETRY_AFTER) but must never answer wrong.
+  std::function<Index()> next_expected;
+};
+
+/// Latency breakdown for one serving shard (responses carrying shard >= 0).
+struct OpenLoopShardResult {
+  int shard = -1;
+  std::uint64_t received = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 struct OpenLoopResult {
@@ -50,11 +68,15 @@ struct OpenLoopResult {
   std::uint64_t decode_errors = 0;
   std::uint64_t closed_early = 0;    ///< sockets the server closed mid-run
   std::uint64_t stalled = 0;         ///< sockets still owing responses post-drain
+  std::uint64_t wrong_answers = 0;   ///< kOk responses failing the oracle check
   double achieved_rate = 0.0;        ///< sends per second actually issued
+  double elapsed_s = 0.0;            ///< window start to the last response seen
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Per serving shard (router runs only; empty against a standalone server).
+  std::vector<OpenLoopShardResult> per_shard;
 };
 
 /// Runs one open-loop measurement against a frontend. Blocking; returns when

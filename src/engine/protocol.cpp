@@ -143,6 +143,8 @@ Request decode_request(std::string_view payload) {
     case Op::kSubstringString:
     case Op::kStats:
     case Op::kBatchQuery:
+    case Op::kHealth:
+    case Op::kShardCtl:
       request.op = static_cast<Op>(op);
       break;
     default:
@@ -190,6 +192,7 @@ std::string encode_response(const Response& response) {
   out += response.text;
   append_u32(out, static_cast<std::uint32_t>(response.values.size()));
   for (const Index v : response.values) append_i64(out, v);
+  append_u32(out, static_cast<std::uint32_t>(response.shard));
   return out;
 }
 
@@ -214,6 +217,7 @@ Response decode_response(std::string_view payload) {
   if (vals > kMaxBatchWindows) throw ProtocolError("batch value count exceeds limit");
   response.values.reserve(vals);
   for (std::uint32_t i = 0; i < vals; ++i) response.values.push_back(reader.i64());
+  response.shard = static_cast<std::int32_t>(reader.u32());
   reader.expect_end();
   return response;
 }

@@ -12,8 +12,10 @@
 //    one byte per symbol, the to_sequence convention -- fine for DNA/text;
 //    the trailing window list is the kBatchQuery payload, empty otherwise)
 // Response payload:  u8 status | i64 value | i64 retry_ms | u32 len | text
-//                    | u32 k | k * i64
-//   (the trailing value list answers kBatchQuery, one value per window)
+//                    | u32 k | k * i64 | i32 shard
+//   (the trailing value list answers kBatchQuery, one value per window; the
+//    shard id is -1 from a standalone server and the serving backend's id
+//    when the response travelled through the shard router)
 //
 // The same encode/decode pair runs on both ends (server, load generator,
 // tests), so framing bugs are structurally symmetric and caught by the
@@ -47,6 +49,17 @@ enum class Op : std::uint8_t {
   kSubstringString = 3,  ///< LCS(a[x, y), b)
   kStats = 4,            ///< engine stats as JSON text
   kBatchQuery = 5,       ///< k windows over one pair; values in response
+  kHealth = 6,           ///< identity probe; text = {"pid", "uptime_ms", ...}
+  kShardCtl = 7,         ///< router admin (x = command, y = shard, a = arg)
+};
+
+/// kShardCtl command codes, carried in Request::x. The shard id travels in
+/// Request::y and the weight argument (ASCII decimal) in Request::a.
+enum class ShardCtl : std::int64_t {
+  kStatus = 0,   ///< ring + per-shard health as JSON text
+  kWeight = 1,   ///< set shard y's ring weight to atoi(a); generation bumps
+  kDrain = 2,    ///< weight -> 0, mark drained; in-flight work completes
+  kUndrain = 3,  ///< restore the pre-drain weight
 };
 
 enum class Status : std::uint8_t {
@@ -72,6 +85,8 @@ struct Response {
   std::string text;
   /// kBatchQuery only: one answer per request window, in order.
   std::vector<Index> values;
+  /// Serving backend's shard id, stamped by the router; -1 = not sharded.
+  std::int32_t shard = -1;
 };
 
 /// Frames larger than this are rejected on read and refused on write.

@@ -1,0 +1,121 @@
+#include "engine/shard/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace semilocal {
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed, and stable across platforms --
+/// ring placement must agree between any two builds of the router.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t point_hash(int shard_id, int vnode) {
+  // Derived from the stable shard id, never the config index: reordering a
+  // config file must not remap a single key.
+  return mix64(mix64(static_cast<std::uint64_t>(shard_id) ^ 0x5ca1ab1e00000000ULL) ^
+               static_cast<std::uint64_t>(vnode));
+}
+
+std::uint64_t key_point(const PairKey& key) {
+  return mix64(PairKeyHash{}(key));
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<ShardConfig> shards, int vnodes_per_weight)
+    : shards_(std::move(shards)) {
+  if (vnodes_per_weight <= 0) {
+    throw std::invalid_argument("ring: vnodes_per_weight must be positive");
+  }
+  std::unordered_set<int> ids;
+  for (const ShardConfig& s : shards_) {
+    if (s.weight < 0) throw std::invalid_argument("ring: negative shard weight");
+    if (!ids.insert(s.id).second) {
+      throw std::invalid_argument("ring: duplicate shard id " + std::to_string(s.id));
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardConfig& s = shards_[i];
+    const long vnodes = static_cast<long>(s.weight) * vnodes_per_weight;
+    for (long v = 0; v < vnodes; ++v) {
+      points_.push_back(Point{point_hash(s.id, static_cast<int>(v)),
+                              static_cast<std::int32_t>(i)});
+    }
+  }
+  // Tie-break on the shard index so equal hashes (astronomically rare but
+  // possible) still sort deterministically.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+void HashRing::replicas_for(const PairKey& key, int count, std::vector<int>& out) const {
+  out.clear();
+  if (points_.empty() || count <= 0) return;
+  const std::uint64_t h = key_point(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  // Walk clockwise collecting distinct shards; one full lap visits them all.
+  for (std::size_t step = 0; step < points_.size(); ++step) {
+    if (it == points_.end()) it = points_.begin();
+    const int shard = it->shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+      if (static_cast<int>(out.size()) == count) return;
+    }
+    ++it;
+  }
+}
+
+int HashRing::primary(const PairKey& key) const {
+  std::vector<int> one;
+  replicas_for(key, 1, one);
+  return one.empty() ? -1 : one.front();
+}
+
+std::vector<ShardConfig> parse_shard_spec(const std::string& spec) {
+  std::vector<ShardConfig> shards;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string entry =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+    ShardConfig config;
+    config.id = static_cast<int>(shards.size());
+    try {
+      const std::size_t c1 = entry.find(':');
+      if (c1 == std::string::npos) {  // bare port
+        config.port = std::stoi(entry);
+      } else {
+        config.host = entry.substr(0, c1);
+        const std::size_t c2 = entry.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+          config.port = std::stoi(entry.substr(c1 + 1));
+        } else {
+          config.port = std::stoi(entry.substr(c1 + 1, c2 - c1 - 1));
+          config.weight = std::stoi(entry.substr(c2 + 1));
+        }
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad shard entry '" + entry + "'");
+    }
+    if (config.host.empty() || config.port <= 0 || config.weight < 0) {
+      throw std::invalid_argument("bad shard entry '" + entry + "'");
+    }
+    shards.push_back(std::move(config));
+  }
+  if (shards.empty()) throw std::invalid_argument("empty shard spec");
+  return shards;
+}
+
+}  // namespace semilocal

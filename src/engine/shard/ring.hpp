@@ -1,0 +1,79 @@
+// Weighted consistent-hash ring over PairKey.
+//
+// The router's placement function: every (a, b) comparison job hashes to a
+// point on a 64-bit ring, and the first R distinct shards clockwise from
+// that point are the job's replica set. Properties the tests pin:
+//
+//   * Deterministic: the ring is a pure function of the shard configs and
+//     the vnode count -- two routers built from the same config file agree
+//     on every key's owner without talking to each other (the router stays
+//     stateless).
+//   * Balanced: each shard owns weight-proportional arc length; with the
+//     default 64 vnodes per weight unit the per-shard load over random keys
+//     stays within a small constant factor of its fair share.
+//   * Minimal remap: adding or removing one shard moves only the keys whose
+//     arc the change touches -- keys never migrate between two shards that
+//     were both present before and after. Vnode points are derived from the
+//     shard's stable id, not its index, so config reordering is a no-op.
+//
+// Weight 0 removes a shard's points without removing the shard: that is the
+// drain state -- no new keys land on it, in-flight work finishes, the pools
+// stay dialable for undrain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/key.hpp"
+
+namespace semilocal {
+
+/// One backend in the ring: a stable id (vnode placement + wire shard id),
+/// an address, and a ring weight.
+struct ShardConfig {
+  int id = 0;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Relative share of the ring (vnodes = weight * vnodes_per_weight).
+  /// 0 = drained: the shard keeps its slot but owns no keys.
+  int weight = 1;
+};
+
+class HashRing {
+ public:
+  HashRing() = default;
+
+  /// Builds the ring. Throws std::invalid_argument on duplicate shard ids
+  /// or negative weights.
+  explicit HashRing(std::vector<ShardConfig> shards, int vnodes_per_weight = 64);
+
+  [[nodiscard]] const std::vector<ShardConfig>& shards() const { return shards_; }
+
+  /// The first `count` distinct shards clockwise from the key's ring point,
+  /// as indices into shards(), preference order. Fewer than `count` come
+  /// back when fewer shards carry weight; empty when every shard is drained.
+  void replicas_for(const PairKey& key, int count, std::vector<int>& out) const;
+
+  /// replicas_for(key, 1) as a value; -1 on an empty ring.
+  [[nodiscard]] int primary(const PairKey& key) const;
+
+  /// Total vnode points (weights * vnodes_per_weight summed).
+  [[nodiscard]] std::size_t points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::int32_t shard = 0;  ///< index into shards_
+  };
+
+  std::vector<ShardConfig> shards_;
+  std::vector<Point> points_;  ///< sorted by (hash, shard)
+};
+
+/// Parses a "--shards" spec: comma-separated entries, each `port`,
+/// `host:port`, or `host:port:weight`. Shard ids are assigned in order
+/// (0, 1, ...). Throws std::invalid_argument on malformed entries.
+std::vector<ShardConfig> parse_shard_spec(const std::string& spec);
+
+}  // namespace semilocal

@@ -1,0 +1,659 @@
+// Tests for the sharded serving tier (engine/shard/): hash-ring placement
+// properties (statistical balance, minimal remap on add/remove, determinism
+// across construction order), and the ShardRouter driven against real
+// in-process backends -- replica failover when a backend dies mid-run,
+// deterministic fault schedules through the Env socket seam ("shard:<id>"
+// labels), hedged requests against a silent backend, drain/undrain via
+// kShardCtl frames, and restart detection by the health prober.
+//
+// The oracle discipline throughout: every kOk response must carry the exact
+// client-side LCS value; a typed RETRY_AFTER (kOverloaded) is an acceptable
+// refusal; a wrong value or a hang is a failure. That is the router's core
+// contract under churn.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "engine/engine.hpp"
+#include "engine/env.hpp"
+#include "engine/frontend.hpp"
+#include "engine/protocol.hpp"
+#include "engine/shard/ring.hpp"
+#include "engine/shard/router.hpp"
+#include "util/random.hpp"
+
+namespace semilocal {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// HashRing properties.
+
+PairKey synthetic_key(std::uint64_t i) {
+  // Sequential ids through the FNV-ish fold in PairKeyHash give well-spread
+  // ring points; the ring must balance them without help.
+  PairKey key;
+  key.hash_a = i * 0x9e3779b97f4a7c15ULL + 1;
+  key.hash_b = i ^ 0xdeadbeefcafef00dULL;
+  key.len_a = static_cast<Index>(64 + i % 7);
+  key.len_b = static_cast<Index>(64 + i % 5);
+  return key;
+}
+
+std::vector<ShardConfig> equal_shards(int n) {
+  std::vector<ShardConfig> shards;
+  for (int i = 0; i < n; ++i) {
+    shards.push_back(ShardConfig{i, "127.0.0.1", 9000 + i, 1});
+  }
+  return shards;
+}
+
+TEST(HashRing, BalancesRandomKeysWithinConstantFactorOfFairShare) {
+  const HashRing ring(equal_shards(4));
+  std::map<int, int> owned;
+  constexpr int kKeys = 1000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    owned[ring.primary(synthetic_key(i))]++;
+  }
+  ASSERT_EQ(owned.size(), 4u);  // every shard owns something
+  const int fair = kKeys / 4;
+  for (const auto& [shard, count] : owned) {
+    EXPECT_GT(count, fair / 2) << "shard " << shard << " starved";
+    EXPECT_LT(count, fair * 2) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(HashRing, WeightScalesOwnershipAndZeroDrains) {
+  auto shards = equal_shards(3);
+  shards[0].weight = 3;
+  shards[2].weight = 0;  // drained
+  const HashRing ring(shards);
+  std::map<int, int> owned;
+  for (std::uint64_t i = 0; i < 2000; ++i) owned[ring.primary(synthetic_key(i))]++;
+  EXPECT_EQ(owned.count(2), 0u) << "weight-0 shard owns keys";
+  // 3:1 split with slack: the heavy shard must own a clear majority.
+  EXPECT_GT(owned[0], owned[1]);
+  EXPECT_GT(owned[0], 2000 * 6 / 10);
+}
+
+TEST(HashRing, AddingAShardMovesKeysOnlyToTheNewShard) {
+  const HashRing before(equal_shards(3));
+  const HashRing after(equal_shards(4));
+  int moved = 0;
+  constexpr int kKeys = 1000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const PairKey key = synthetic_key(i);
+    const int old_id = before.shards()[static_cast<std::size_t>(before.primary(key))].id;
+    const int new_id = after.shards()[static_cast<std::size_t>(after.primary(key))].id;
+    if (old_id != new_id) {
+      EXPECT_EQ(new_id, 3) << "key migrated between two pre-existing shards";
+      ++moved;
+    }
+  }
+  // The new shard takes roughly its fair quarter -- and nothing else moves.
+  EXPECT_GT(moved, kKeys / 8);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(HashRing, RemovingAShardStrandsOnlyItsOwnKeys) {
+  const HashRing before(equal_shards(3));
+  auto survivors = equal_shards(3);
+  survivors.erase(survivors.begin() + 1);  // drop shard id 1
+  const HashRing after(survivors);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const PairKey key = synthetic_key(i);
+    const int old_id = before.shards()[static_cast<std::size_t>(before.primary(key))].id;
+    const int new_id = after.shards()[static_cast<std::size_t>(after.primary(key))].id;
+    if (old_id != 1) {
+      EXPECT_EQ(new_id, old_id) << "survivor-owned key moved on removal";
+    }
+  }
+}
+
+TEST(HashRing, DeterministicAcrossRebuildAndConfigReordering) {
+  const HashRing a(equal_shards(4));
+  const HashRing b(equal_shards(4));
+  auto reordered = equal_shards(4);
+  std::swap(reordered[0], reordered[3]);
+  std::swap(reordered[1], reordered[2]);
+  const HashRing c(reordered);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const PairKey key = synthetic_key(i);
+    EXPECT_EQ(a.primary(key), b.primary(key));
+    // Vnode points derive from the stable id, so a reordered config file
+    // agrees on the owning *id* even though indices shifted.
+    const int id_a = a.shards()[static_cast<std::size_t>(a.primary(key))].id;
+    const int id_c = c.shards()[static_cast<std::size_t>(c.primary(key))].id;
+    EXPECT_EQ(id_a, id_c);
+  }
+}
+
+TEST(HashRing, ReplicaSetsAreDistinctAndPreferenceOrdered) {
+  const HashRing ring(equal_shards(4));
+  std::vector<int> replicas;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const PairKey key = synthetic_key(i);
+    ring.replicas_for(key, 2, replicas);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_EQ(replicas[0], ring.primary(key));
+    ring.replicas_for(key, 8, replicas);  // more than exist: all, each once
+    EXPECT_EQ(replicas.size(), 4u);
+  }
+}
+
+TEST(HashRing, RejectsDuplicateIdsAndNegativeWeights) {
+  auto dup = equal_shards(2);
+  dup[1].id = 0;
+  EXPECT_THROW(HashRing{dup}, std::invalid_argument);
+  auto negative = equal_shards(2);
+  negative[0].weight = -1;
+  EXPECT_THROW(HashRing{negative}, std::invalid_argument);
+  EXPECT_THROW(HashRing(equal_shards(2), 0), std::invalid_argument);
+}
+
+TEST(HashRing, ParsesShardSpecs) {
+  const auto shards = parse_shard_spec("9001,10.0.0.2:9002,10.0.0.3:9003:4");
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].id, 0);
+  EXPECT_EQ(shards[0].host, "127.0.0.1");
+  EXPECT_EQ(shards[0].port, 9001);
+  EXPECT_EQ(shards[0].weight, 1);
+  EXPECT_EQ(shards[1].host, "10.0.0.2");
+  EXPECT_EQ(shards[1].port, 9002);
+  EXPECT_EQ(shards[2].id, 2);
+  EXPECT_EQ(shards[2].weight, 4);
+  EXPECT_THROW(parse_shard_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("notaport"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("127.0.0.1:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("h:1:-2"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter against real in-process backends.
+
+Sequence random_dna(Index length, Rng& rng) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  Sequence out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (Index i = 0; i < length; ++i) {
+    out.push_back(static_cast<Symbol>(kBases[rng.uniform(0, 3)]));
+  }
+  return out;
+}
+
+/// One in-process backend: engine + reactor frontend + its run() thread.
+struct Backend {
+  ComparisonEngine engine;
+  FrontendServer server;
+  std::thread thread;
+
+  explicit Backend(int port = 0)
+      : engine(small_engine()),
+        server(engine, frontend_on(port)),
+        thread([this] { server.run(); }) {}
+
+  ~Backend() { stop(); }
+
+  void stop() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+
+  [[nodiscard]] int port() const { return server.port(); }
+
+  static EngineOptions small_engine() {
+    EngineOptions options;
+    options.store.dir = "";  // memory only
+    options.store.cache_bytes = std::size_t{32} << 20;
+    options.scheduler.workers = 2;
+    options.scheduler.max_queue = 256;
+    return options;
+  }
+
+  static FrontendOptions frontend_on(int port) {
+    FrontendOptions options;
+    options.port = port;
+    options.idle_timeout_ms = 0;
+    options.read_timeout_ms = 0;
+    return options;
+  }
+};
+
+/// A backend that accepts connections and never answers: the hedging tests'
+/// straggler. Accepted sockets are held open (no EOF, no frames).
+struct SilentBackend {
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::atomic<bool> stop{false};
+  std::vector<int> accepted;
+  std::thread thread;
+
+  SilentBackend() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 16) != 0) {
+      throw std::runtime_error("silent backend: bind/listen failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port = ntohs(addr.sin_port);
+    thread = std::thread([this] {
+      while (!stop.load()) {
+        pollfd p{listen_fd, POLLIN, 0};
+        if (::poll(&p, 1, 20) <= 0) continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) accepted.push_back(fd);
+      }
+    });
+  }
+
+  ~SilentBackend() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+    for (const int fd : accepted) ::close(fd);
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+struct OraclePair {
+  Sequence a;
+  Sequence b;
+  Index lcs = 0;
+};
+
+std::vector<OraclePair> oracle_pairs(int count, Index length, std::uint64_t seed) {
+  std::vector<OraclePair> pairs;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    OraclePair pair;
+    pair.a = random_dna(length, rng);
+    pair.b = random_dna(length, rng);
+    pair.lcs = lcs_semilocal(pair.a, pair.b);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+Request lcs_request(const OraclePair& pair) {
+  Request request;
+  request.op = Op::kLcs;
+  request.a = pair.a;
+  request.b = pair.b;
+  return request;
+}
+
+RouterOptions router_over(const std::vector<int>& ports) {
+  RouterOptions options;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    options.shards.push_back(
+        ShardConfig{static_cast<int>(i), "127.0.0.1", ports[i], 1});
+  }
+  return options;
+}
+
+TEST(ShardRouter, RoutesOracleCheckedAnswersAndStampsShardIds) {
+  Backend b0;
+  Backend b1;
+  ShardRouter router(router_over({b0.port(), b1.port()}));
+  const auto pairs = oracle_pairs(24, 64, 7);
+  std::map<int, int> served;
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk) << response.text;
+    EXPECT_EQ(response.value, pair.lcs);
+    ASSERT_GE(response.shard, 0);
+    ASSERT_LE(response.shard, 1);
+    served[response.shard]++;
+  }
+  EXPECT_EQ(served[0] + served[1], 24);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.requests, 24u);
+  EXPECT_EQ(stats.forwarded, 24u);
+  EXPECT_EQ(stats.unavailable, 0u);
+  EXPECT_EQ(static_cast<int>(stats.shards[0].ok), served[0]);
+  EXPECT_EQ(static_cast<int>(stats.shards[1].ok), served[1]);
+}
+
+TEST(ShardRouter, AnswersPingStatsAndHealthLocally) {
+  Backend b0;
+  ShardRouter router(router_over({b0.port()}));
+  Request ping;
+  ping.op = Op::kPing;
+  EXPECT_EQ(router.route(ping).status, Status::kOk);
+  Request stats;
+  stats.op = Op::kStats;
+  const Response stats_response = router.route(stats);
+  EXPECT_NE(stats_response.text.find("\"router_requests\""), std::string::npos);
+  EXPECT_NE(stats_response.text.find("\"router_shards\""), std::string::npos);
+  Request health;
+  health.op = Op::kHealth;
+  const Response health_response = router.route(health);
+  EXPECT_NE(health_response.text.find("\"role\": \"router\""), std::string::npos);
+  EXPECT_NE(health_response.text.find("\"pid\""), std::string::npos);
+}
+
+TEST(ShardRouter, FailsOverToTheReplicaWhenABackendDiesMidRun) {
+  auto b0 = std::make_unique<Backend>();
+  Backend b1;
+  Backend b2;
+  auto options = router_over({b0->port(), b1.port(), b2.port()});
+  options.replicas = 2;
+  options.attempt_timeout_ms = 2'000;
+  ShardRouter router(std::move(options));
+
+  const auto pairs = oracle_pairs(30, 64, 11);
+  // Warm pass: every shard serves, pools hold live connections to b0.
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk);
+    ASSERT_EQ(response.value, pair.lcs);
+  }
+  // Kill backend 0 outright: pooled connections see EOF (the in-flight
+  // failover path), fresh dials see ECONNREFUSED.
+  b0->stop();
+  b0.reset();
+  std::uint64_t overloaded = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const OraclePair& pair : pairs) {
+      const Response response = router.route(lcs_request(pair));
+      if (response.status == Status::kOverloaded) {
+        ++overloaded;  // typed refusal: acceptable
+        EXPECT_GT(response.retry_ms, 0);
+        continue;
+      }
+      ASSERT_EQ(response.status, Status::kOk) << response.text;
+      ASSERT_EQ(response.value, pair.lcs) << "WRONG ANSWER after backend death";
+      EXPECT_NE(response.shard, 0) << "dead shard answered";
+    }
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_GT(stats.failovers, 0u);
+  EXPECT_EQ(overloaded, 0u) << "R=2 over 3 shards should always find a replica";
+}
+
+TEST(ShardRouter, SeededFaultScheduleNeverProducesAWrongAnswer) {
+  Backend b0;
+  Backend b1;
+  Backend b2;
+  // Deterministic schedule: half of the router's reads from shard 0 fail
+  // with injected EIO, plus a scripted write fault window against shard 1.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.clock_step_ns = 5'000'000;  // 5 ms per now_ns: deadlines stay cheap
+  FaultRule read_rule;
+  read_rule.op = EnvOp::kSockRead;
+  read_rule.path_substring = "shard:0";
+  read_rule.probability = 0.5;
+  plan.rules.push_back(read_rule);
+  FaultRule write_rule;
+  write_rule.op = EnvOp::kSockWrite;
+  write_rule.path_substring = "shard:1";
+  write_rule.skip = 5;
+  write_rule.count = 10;
+  plan.rules.push_back(write_rule);
+  FaultyEnv env(plan);
+
+  auto options = router_over({b0.port(), b1.port(), b2.port()});
+  options.replicas = 2;
+  options.attempt_timeout_ms = 500;
+  options.env = &env;
+  ShardRouter router(std::move(options));
+
+  const auto pairs = oracle_pairs(20, 64, 13);
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (const OraclePair& pair : pairs) {
+      const Response response = router.route(lcs_request(pair));
+      if (response.status == Status::kOverloaded) {
+        ++overloaded;
+        continue;
+      }
+      ASSERT_EQ(response.status, Status::kOk) << response.text;
+      ASSERT_EQ(response.value, pair.lcs) << "WRONG ANSWER under fault schedule";
+      ++ok;
+    }
+  }
+  EXPECT_GT(env.faults_injected(), 0u) << "schedule never fired";
+  EXPECT_GT(ok, 0u);
+  const RouterStats stats = router.stats();
+  EXPECT_GT(stats.failovers + stats.unavailable + overloaded, 0u)
+      << "faults fired but the router never noticed";
+  // Replay determinism: the injected-fault trace is a pure function of the
+  // plan and the call sequence; at minimum it must be non-empty and render.
+  EXPECT_FALSE(env.trace_text().empty());
+}
+
+TEST(ShardRouter, HedgedRequestWinsAgainstASilentBackend) {
+  SilentBackend silent;
+  Backend live;
+  auto options = router_over({silent.bound_port, live.port()});
+  options.replicas = 2;
+  options.hedge_after_ms = 20;
+  options.attempt_timeout_ms = 3'000;
+  ShardRouter router(std::move(options));
+
+  const auto pairs = oracle_pairs(16, 64, 17);
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk) << response.text;
+    ASSERT_EQ(response.value, pair.lcs);
+    EXPECT_EQ(response.shard, 1) << "the silent shard cannot have answered";
+  }
+  const RouterStats stats = router.stats();
+  // Keys whose primary is the silent shard only complete via the hedge.
+  EXPECT_GT(stats.hedges, 0u);
+  EXPECT_GT(stats.hedge_wins, 0u);
+  EXPECT_EQ(stats.unavailable, 0u);
+}
+
+TEST(ShardRouter, ExhaustedReplicasYieldTypedRetryAfterNeverAStall) {
+  // Nothing listens on either port: every dial fails fast.
+  auto options = router_over({1, 2});
+  for (auto& shard : options.shards) shard.port = 59'998 + shard.id;
+  options.replicas = 2;
+  options.retry_after_ms = 75;
+  ShardRouter router(std::move(options));
+  const auto pairs = oracle_pairs(3, 48, 19);
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    EXPECT_EQ(response.status, Status::kOverloaded);
+    EXPECT_EQ(response.retry_ms, 75);
+  }
+  EXPECT_EQ(router.stats().unavailable, 3u);
+}
+
+TEST(ShardRouter, DrainStopsNewTrafficAndUndrainRestoresIt) {
+  Backend b0;
+  Backend b1;
+  ShardRouter router(router_over({b0.port(), b1.port()}));
+  const auto pairs = oracle_pairs(30, 64, 23);
+
+  ASSERT_TRUE(router.drain(0));
+  EXPECT_EQ(router.stats().ring_generation, 1u);
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk);
+    ASSERT_EQ(response.value, pair.lcs);
+    EXPECT_EQ(response.shard, 1) << "drained shard took new traffic";
+  }
+
+  ASSERT_TRUE(router.undrain(0));
+  EXPECT_EQ(router.stats().ring_generation, 2u);
+  std::map<int, int> served;
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk);
+    served[response.shard]++;
+  }
+  EXPECT_GT(served[0], 0) << "undrained shard never rejoined";
+
+  EXPECT_FALSE(router.drain(9));  // unknown id
+  EXPECT_FALSE(router.set_weight(0, -1));
+}
+
+TEST(ShardRouter, ShardCtlFramesDriveDrainWeightAndStatus) {
+  Backend b0;
+  Backend b1;
+  ShardRouter router(router_over({b0.port(), b1.port()}));
+
+  Request status;
+  status.op = Op::kShardCtl;
+  status.x = static_cast<Index>(ShardCtl::kStatus);
+  const Response status_response = router.route(status);
+  ASSERT_EQ(status_response.status, Status::kOk);
+  EXPECT_NE(status_response.text.find("\"router_ring_generation\": 0"),
+            std::string::npos);
+
+  Request drain;
+  drain.op = Op::kShardCtl;
+  drain.x = static_cast<Index>(ShardCtl::kDrain);
+  drain.y = 1;
+  ASSERT_EQ(router.route(drain).status, Status::kOk);
+  EXPECT_TRUE(router.stats().shards[1].drained);
+
+  Request weight;
+  weight.op = Op::kShardCtl;
+  weight.x = static_cast<Index>(ShardCtl::kWeight);
+  weight.y = 0;
+  weight.a = to_sequence("5");
+  ASSERT_EQ(router.route(weight).status, Status::kOk);
+  EXPECT_EQ(router.stats().shards[0].weight, 5);
+
+  Request undrain;
+  undrain.op = Op::kShardCtl;
+  undrain.x = static_cast<Index>(ShardCtl::kUndrain);
+  undrain.y = 1;
+  ASSERT_EQ(router.route(undrain).status, Status::kOk);
+  EXPECT_FALSE(router.stats().shards[1].drained);
+  EXPECT_EQ(router.stats().shards[1].weight, 1);
+
+  Request bogus;
+  bogus.op = Op::kShardCtl;
+  bogus.x = static_cast<Index>(ShardCtl::kDrain);
+  bogus.y = 42;
+  EXPECT_EQ(router.route(bogus).status, Status::kError);
+  Request bad_weight;
+  bad_weight.op = Op::kShardCtl;
+  bad_weight.x = static_cast<Index>(ShardCtl::kWeight);
+  bad_weight.y = 0;
+  bad_weight.a = to_sequence("pony");
+  EXPECT_EQ(router.route(bad_weight).status, Status::kError);
+}
+
+TEST(ShardRouter, ProbesBenchAndRecoverBackendsAndCountRestarts) {
+  auto b0 = std::make_unique<Backend>();
+  Backend b1;
+  const int port0 = b0->port();
+  auto options = router_over({port0, b1.port()});
+  options.unhealthy_after = 3;
+  options.attempt_timeout_ms = 500;
+  ShardRouter router(std::move(options));
+
+  // Give backend 0 some measurable uptime, then record its identity.
+  std::this_thread::sleep_for(150ms);
+  router.probe_all();
+  {
+    const RouterStats stats = router.stats();
+    EXPECT_TRUE(stats.shards[0].healthy);
+    EXPECT_GT(stats.shards[0].last_pid, 0);
+  }
+
+  b0->stop();
+  b0.reset();
+  for (int i = 0; i < 3; ++i) router.probe_all();
+  EXPECT_FALSE(router.stats().shards[0].healthy);
+  EXPECT_GE(router.stats().shards[0].probe_failures, 3u);
+
+  // A "restarted" backend on the same port: same pid (in-process), but its
+  // uptime runs backwards -- the probe's other restart signal.
+  Backend reborn(port0);
+  router.probe_all();
+  const RouterStats stats = router.stats();
+  EXPECT_TRUE(stats.shards[0].healthy) << "probe success must un-bench";
+  EXPECT_GE(stats.shards[0].restarts, 1u);
+
+  // And traffic flows to it again.
+  const auto pairs = oracle_pairs(8, 64, 29);
+  for (const OraclePair& pair : pairs) {
+    const Response response = router.route(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk);
+    ASSERT_EQ(response.value, pair.lcs);
+  }
+}
+
+TEST(ShardRouter, ServesThroughTheHandlerModeFrontendWithStatsSplice) {
+  Backend b0;
+  Backend b1;
+  ShardRouter router(router_over({b0.port(), b1.port()}));
+  FrontendOptions frontend;
+  frontend.port = 0;
+  frontend.idle_timeout_ms = 0;
+  frontend.read_timeout_ms = 0;
+  frontend.handler = [&router](const Request& request) { return router.route(request); };
+  FrontendServer server(std::move(frontend));
+  std::thread thread([&server] { server.run(); });
+
+  // A raw client against the router's own reactor: the full wire path.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const auto exchange = [&](const Request& request) {
+    const std::string frame = frame_payload(encode_request(request));
+    EXPECT_EQ(::write(fd, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    FrameDecoder decoder;
+    std::string payload;
+    char buf[1 << 14];
+    while (payload.empty()) {
+      const auto n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                   [&](std::string_view p, bool) { payload.assign(p); });
+    }
+    return decode_response(payload);
+  };
+
+  const auto pairs = oracle_pairs(6, 64, 31);
+  for (const OraclePair& pair : pairs) {
+    const Response response = exchange(lcs_request(pair));
+    ASSERT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.value, pair.lcs);
+    EXPECT_GE(response.shard, 0);
+  }
+  Request stats;
+  stats.op = Op::kStats;
+  const Response stats_response = exchange(stats);
+  // Both layers in one document: router_* from the handler, frontend_* from
+  // the reactor's splice.
+  EXPECT_NE(stats_response.text.find("\"router_forwarded\""), std::string::npos);
+  EXPECT_NE(stats_response.text.find("\"frontend_connections\""), std::string::npos);
+
+  ::close(fd);
+  server.request_stop();
+  thread.join();
+}
+
+}  // namespace
+}  // namespace semilocal

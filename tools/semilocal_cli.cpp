@@ -29,6 +29,19 @@
 //   store stat <dir>
 //       Per-format file counts, on-disk bytes, and the compression ratio
 //       against the raw v2 encoding.
+//   shardctl <host:port|port> status
+//   shardctl <host:port|port> drain|undrain <shard>
+//   shardctl <host:port|port> weight <shard> <w>
+//       Admin frontend to a running semilocal_router (Op::kShardCtl over the
+//       wire protocol): inspect ring + per-shard health, drain a backend for
+//       maintenance (weight -> 0; in-flight exchanges finish), restore it,
+//       or rebalance by editing its ring weight. Every mutation bumps the
+//       ring generation and echoes the router's stats document.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -44,6 +57,8 @@
 #include "core/kernel_codec.hpp"
 #include "core/serialize.hpp"
 #include "engine/corpus.hpp"
+#include "engine/protocol.hpp"
+#include "fd_stream.hpp"
 #include "util/cli.hpp"
 #include "util/fasta.hpp"
 #include "util/timer.hpp"
@@ -66,7 +81,10 @@ int usage() {
       "  dotplot <a.fasta> <b.fasta> [--rows R] [--cols C]\n"
       "  braid <stringA> <stringB>\n"
       "  store migrate <dir>     (rewrite v2 kernels as compressed v3, in place)\n"
-      "  store stat <dir>        (per-format counts, bytes, compression ratio)\n";
+      "  store stat <dir>        (per-format counts, bytes, compression ratio)\n"
+      "  shardctl <host:port|port> status\n"
+      "  shardctl <host:port|port> drain|undrain <shard>\n"
+      "  shardctl <host:port|port> weight <shard> <w>\n";
   return 2;
 }
 
@@ -360,6 +378,65 @@ int cmd_store_stat(const std::string& dir) {
   return 0;
 }
 
+/// `shardctl <host:port|port> <verb> [shard] [weight]`: one kShardCtl frame
+/// to a running router, echoing its stats document. Exit 0 on kOk.
+int cmd_shardctl(const CliArgs& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) return usage();
+
+  std::string host = "127.0.0.1";
+  std::string port_text = pos[0];
+  if (const std::size_t colon = pos[0].rfind(':'); colon != std::string::npos) {
+    host = pos[0].substr(0, colon);
+    port_text = pos[0].substr(colon + 1);
+  }
+  const int port = std::stoi(port_text);
+
+  Request request;
+  request.op = Op::kShardCtl;
+  const std::string& verb = pos[1];
+  if (verb == "status") {
+    if (pos.size() != 2) return usage();
+    request.x = static_cast<Index>(ShardCtl::kStatus);
+  } else if (verb == "drain" || verb == "undrain") {
+    if (pos.size() != 3) return usage();
+    request.x = static_cast<Index>(verb == "drain" ? ShardCtl::kDrain : ShardCtl::kUndrain);
+    request.y = std::stoll(pos[2]);
+  } else if (verb == "weight") {
+    if (pos.size() != 4) return usage();
+    request.x = static_cast<Index>(ShardCtl::kWeight);
+    request.y = std::stoll(pos[2]);
+    request.a = to_sequence(pos[3]);  // ASCII decimal, per the protocol doc
+  } else {
+    return usage();
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("shardctl: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("shardctl: bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("shardctl: cannot connect to " + host + ":" + port_text);
+  }
+  tools::FdStream stream(fd);
+  write_frame(stream.out, encode_request(request));
+  const auto payload = read_frame(stream.in);
+  if (!payload) throw std::runtime_error("shardctl: router closed the connection");
+  const Response response = decode_response(*payload);
+  if (response.status != Status::kOk) {
+    std::cerr << "shardctl: " << response.text << "\n";
+    return 1;
+  }
+  std::cout << response.text << "\n";
+  return 0;
+}
+
 int cmd_store(const CliArgs& args) {
   if (args.positional().size() != 2) return usage();
   const std::string& sub = args.positional()[0];
@@ -386,6 +463,7 @@ int main(int argc, char** argv) {
     if (command == "dotplot") return cmd_dotplot(args);
     if (command == "braid") return cmd_braid(args);
     if (command == "store") return cmd_store(args);
+    if (command == "shardctl") return cmd_shardctl(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "semilocal_cli: " << e.what() << "\n";

@@ -27,6 +27,15 @@
 // --json emits the OpenLoopResult as one JSON object on stdout (the bench
 // harness parses it); exit status is nonzero if any socket stalled (an
 // unanswered request with no close) or a response failed to decode.
+//
+// --verify turns the tool into a correctness oracle: the client computes the
+// semi-local kernel of every pool pair up front and pins each single-window
+// response (kLcs / the substring ops; batches are skipped) to its exact
+// expected value. A mismatch is a wrong_answer and a nonzero exit -- the
+// failover serve gate runs this against the shard router while killing a
+// backend, where typed RETRY_AFTER is acceptable and a wrong value never is.
+// (Incompatible with servers running --dna: packing changes window
+// coordinates server-side.)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -38,8 +47,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/api.hpp"
 #include "engine/open_loop.hpp"
 #include "engine/protocol.hpp"
+#include "engine/query.hpp"
 #include "fd_stream.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
@@ -54,7 +65,8 @@ int usage() {
                "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n"
                "                         [--queries-per-pair Q]\n"
                "       semilocal_loadgen --port P --arrival-rate R --connections C\n"
-               "                         [--duration-ms D] [--drain-ms D] [--json]\n";
+               "                         [--duration-ms D] [--drain-ms D] [--json]\n"
+               "       either mode also accepts --verify (client-side answer oracle)\n";
   return 2;
 }
 
@@ -86,10 +98,30 @@ Sequence random_dna(Index length, Rng& rng) {
 
 struct Workload {
   std::vector<std::pair<Sequence, Sequence>> pool;
+  /// --verify: kernels[i] answers pool[i] client-side (empty otherwise).
+  std::vector<SemiLocalKernel> kernels;
   double substring_frac = 0.0;
   bool zipf = false;
   Index queries_per_pair = 1;  // > 1 => batched kBatchQuery frames
 };
+
+/// The value a correct kOk response to `request` (drawn from pool index
+/// `idx`) must carry, or -1 when unverifiable (no kernels, or a batch --
+/// batch responses carry the window count, not a single score).
+Index expected_value(const Workload& workload, std::size_t idx, const Request& request) {
+  if (workload.kernels.empty() || request.op == Op::kBatchQuery) return -1;
+  const SemiLocalKernel& kernel = workload.kernels[idx];
+  switch (request.op) {
+    case Op::kLcs:
+      return kernel_lcs(kernel);
+    case Op::kStringSubstring:
+      return kernel_string_substring(kernel, request.x, request.y);
+    case Op::kSubstringString:
+      return kernel_substring_string(kernel, request.x, request.y);
+    default:
+      return -1;
+  }
+}
 
 WindowQuery pick_window(const Workload& workload, Index m, Index n, Rng& rng) {
   WindowQuery w;
@@ -108,13 +140,15 @@ WindowQuery pick_window(const Workload& workload, Index m, Index n, Rng& rng) {
   return w;
 }
 
-Request pick_request(const Workload& workload, Rng& rng) {
+Request pick_request(const Workload& workload, Rng& rng,
+                     std::size_t* pool_index = nullptr) {
   const auto pool_size = static_cast<std::int64_t>(workload.pool.size());
   std::int64_t idx = rng.uniform(0, pool_size - 1);
   if (workload.zipf) {
     // Cheap skew: min of two uniforms lands on the head ~2x as often.
     idx = std::min(idx, rng.uniform(0, pool_size - 1));
   }
+  if (pool_index != nullptr) *pool_index = static_cast<std::size_t>(idx);
   const auto& [a, b] = workload.pool[static_cast<std::size_t>(idx)];
   Request request;
   request.a = a;
@@ -151,6 +185,7 @@ struct ClientTotals {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
   std::uint64_t retries = 0;
+  std::uint64_t wrong = 0;  ///< --verify: kOk responses with the wrong value
 };
 
 ClientTotals run_client(int port, const Workload& workload, int requests,
@@ -159,7 +194,9 @@ ClientTotals run_client(int port, const Workload& workload, int requests,
   Rng rng(seed);
   tools::FdStream stream(connect_to(port));
   for (int i = 0; i < requests; ++i) {
-    const Request request = pick_request(workload, rng);
+    std::size_t pool_index = 0;
+    const Request request = pick_request(workload, rng, &pool_index);
+    const Index expected = expected_value(workload, pool_index, request);
     const std::string encoded = encode_request(request);
     Timer t;
     while (true) {
@@ -175,6 +212,11 @@ ClientTotals run_client(int port, const Workload& workload, int requests,
       }
       if (response.status == Status::kOk) {
         ++totals.ok;
+        if (expected >= 0 && response.value != expected) {
+          ++totals.wrong;
+          std::cerr << "loadgen: WRONG ANSWER: got " << response.value << " want "
+                    << expected << " (shard " << response.shard << ")\n";
+        }
       } else {
         ++totals.errors;
         std::cerr << "loadgen: server error: " << response.text << "\n";
@@ -196,7 +238,7 @@ double percentile(std::vector<double>& sorted, double q) {
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args = CliArgs::parse(argc, argv, 1, {"zipf", "json"});
+    const CliArgs args = CliArgs::parse(argc, argv, 1, {"zipf", "json", "verify"});
     const auto port_opt = args.option("port");
     if (!port_opt) return usage();
     const int port = static_cast<int>(std::stol(*port_opt));
@@ -218,6 +260,12 @@ int main(int argc, char** argv) {
     for (Index p = 0; p < pairs; ++p) {
       workload.pool.emplace_back(random_dna(length, rng), random_dna(length, rng));
     }
+    if (args.has_flag("verify")) {
+      workload.kernels.reserve(workload.pool.size());
+      for (const auto& [a, b] : workload.pool) {
+        workload.kernels.push_back(semi_local_kernel(a, b));
+      }
+    }
 
     if (const auto rate_opt = args.option("arrival-rate")) {
       OpenLoopOptions open;
@@ -227,9 +275,18 @@ int main(int argc, char** argv) {
       open.duration_ms = static_cast<std::uint64_t>(args.int_option_or("duration-ms", 2000));
       open.drain_ms = static_cast<std::uint64_t>(args.int_option_or("drain-ms", 3000));
       Rng payload_rng(seed + 42);
-      open.next_payload = [&workload, &payload_rng] {
-        return encode_request(pick_request(workload, payload_rng));
+      // next_payload / next_expected run back-to-back per send, so the
+      // captured expectation always describes the request just encoded.
+      Index pending_expected = -1;
+      open.next_payload = [&workload, &payload_rng, &pending_expected] {
+        std::size_t pool_index = 0;
+        const Request request = pick_request(workload, payload_rng, &pool_index);
+        pending_expected = expected_value(workload, pool_index, request);
+        return encode_request(request);
       };
+      if (!workload.kernels.empty()) {
+        open.next_expected = [&pending_expected] { return pending_expected; };
+      }
       const OpenLoopResult open_result = run_open_loop(open);
       if (args.has_flag("json")) {
         std::cout << to_json(open_result) << "\n";
@@ -241,12 +298,21 @@ int main(int argc, char** argv) {
                   << " ok: " << open_result.ok << " overloaded: " << open_result.overloaded
                   << " errors: " << open_result.errors
                   << " closed_early: " << open_result.closed_early
-                  << " stalled: " << open_result.stalled << "\n"
+                  << " stalled: " << open_result.stalled
+                  << " wrong: " << open_result.wrong_answers << "\n"
                   << "latency ms  p50: " << open_result.p50_ms
                   << "  p90: " << open_result.p90_ms << "  p99: " << open_result.p99_ms
                   << "  max: " << open_result.max_ms << "\n";
+        for (const OpenLoopShardResult& per : open_result.per_shard) {
+          std::cout << "shard " << per.shard << ": " << per.received
+                    << " responses, p50 " << per.p50_ms << " ms, p99 " << per.p99_ms
+                    << " ms\n";
+        }
       }
-      return (open_result.stalled == 0 && open_result.decode_errors == 0) ? 0 : 1;
+      return (open_result.stalled == 0 && open_result.decode_errors == 0 &&
+              open_result.wrong_answers == 0)
+                 ? 0
+                 : 1;
     }
 
     const int per_thread = std::max(1, requests / std::max(1, threads));
@@ -274,13 +340,15 @@ int main(int argc, char** argv) {
       merged.ok += r.ok;
       merged.errors += r.errors;
       merged.retries += r.retries;
+      merged.wrong += r.wrong;
       merged.latencies_ms.insert(merged.latencies_ms.end(), r.latencies_ms.begin(),
                                  r.latencies_ms.end());
     }
     std::sort(merged.latencies_ms.begin(), merged.latencies_ms.end());
     const auto total = merged.ok + merged.errors;
     std::cout << "requests: " << total << " ok: " << merged.ok
-              << " errors: " << merged.errors << " retries: " << merged.retries << "\n";
+              << " errors: " << merged.errors << " retries: " << merged.retries
+              << " wrong: " << merged.wrong << "\n";
     std::cout << "elapsed: " << elapsed << " s  throughput: "
               << static_cast<double>(total) / elapsed << " req/s";
     if (workload.queries_per_pair > 1) {
@@ -304,7 +372,7 @@ int main(int argc, char** argv) {
     if (const auto payload = read_frame(stats.in)) {
       std::cout << "server stats: " << decode_response(*payload).text << "\n";
     }
-    return merged.errors == 0 ? 0 : 1;
+    return (merged.errors == 0 && merged.wrong == 0) ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "semilocal_loadgen: " << e.what() << "\n";
     return 1;

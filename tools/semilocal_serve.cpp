@@ -9,8 +9,9 @@
 //       One session over stdin/stdout. Single-threaded end to end (the
 //       scheduler still batches; compute runs inline via drain()).
 //   semilocal_serve --port P [engine options] [frontend options]
-//       Epoll reactor on 127.0.0.1:P (P = 0 picks a free port, printed on
-//       stderr): one event-loop thread for every connection, a small pump
+//       Epoll reactor on 127.0.0.1:P (P = 0 picks a free port; the bound
+//       port is printed alone on stdout so spawning harnesses can read it
+//       without port races): one event-loop thread per process, a small pump
 //       pool for cold computes, typed admission control (see
 //       engine/frontend.hpp). SIGINT/SIGTERM drain gracefully: in-flight
 //       requests answer and flush before the process exits.
@@ -131,6 +132,13 @@ Response handle(ComparisonEngine& engine, const ServeConfig& config,
       case Op::kStats:
         response.text = stats_json(engine.stats());
         break;
+      case Op::kHealth:
+        response.text = health_json(engine.stats());
+        break;
+      case Op::kShardCtl:
+        response.status = Status::kError;
+        response.text = "shardctl: not a router";
+        break;
     }
   } catch (const EngineOverloaded& e) {
     response.status = Status::kOverloaded;
@@ -245,20 +253,27 @@ int main(int argc, char** argv) {
     frontend.dna = config.dna;
     frontend.drain_inline = config.inline_compute;
 
+    // The bound port goes to *stdout* (one bare number, flushed before the
+    // loop starts): with --port 0 a supervisor or test harness spawning real
+    // backends reads it instead of racing for a free port. Human-readable
+    // status stays on stderr.
+    const auto announce = [](int bound_port, const char* kind) {
+      std::cout << bound_port << std::endl;
+      std::cerr << "semilocal_serve: listening on 127.0.0.1:" << bound_port << " ("
+                << kind << ")" << std::endl;
+    };
     if (args.has_flag("threaded")) {
       ThreadedFrontend server(engine, frontend);
       g_threaded = &server;
       install_signal_handlers();
-      std::cerr << "semilocal_serve: listening on 127.0.0.1:" << server.port()
-                << " (threaded)" << std::endl;
+      announce(server.port(), "threaded");
       server.run();
       g_threaded = nullptr;
     } else {
       FrontendServer server(engine, frontend);
       g_reactor = &server;
       install_signal_handlers();
-      std::cerr << "semilocal_serve: listening on 127.0.0.1:" << server.port()
-                << " (reactor)" << std::endl;
+      announce(server.port(), "reactor");
       server.run();
       g_reactor = nullptr;
     }
