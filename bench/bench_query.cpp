@@ -150,7 +150,69 @@ LengthResult run_length(Index length, Index queries) {
   return result;
 }
 
-void write_json(const std::string& path, const std::vector<LengthResult>& results) {
+// The alignment-plot planner primitive: one grid row of width-`window`
+// diagonal queries against a strip kernel, at each stride. The naive lowering
+// is the batched-protocol path (answer_many over per-window HQueries); the
+// planner is one anchor descent plus the seam walk (strided_diagonal_sigma).
+// Sweeping the stride exposes the crossover that strided_walk_profitable
+// encodes: the walk pays ~2*stride contiguous probes per window, the descent
+// ~2*log2(order) dependent ones, so small strides favor the walk.
+struct StrideResult {
+  Index stride = 0;
+  Index windows = 0;
+  double planner_windows_per_s = 0.0;
+  double naive_windows_per_s = 0.0;
+  bool profitable = false;  // what the engine's gate would pick
+  Index mismatches = 0;     // seam walk vs descent disagreement (must be 0)
+};
+
+std::vector<StrideResult> run_stride_sweep(Index length, Index window) {
+  const auto a = uniform_sequence(window, 4, 21);
+  const auto b = uniform_sequence(length, 4, 22);
+  const SemiLocalKernel kernel = semi_local_kernel(a, b);
+  const QueryIndex index(kernel);
+  const Permutation& perm = kernel.permutation();
+  const Index n = static_cast<Index>(b.size());
+
+  std::vector<StrideResult> results;
+  for (const Index stride : {Index{1}, Index{4}, Index{16}, Index{64}}) {
+    StrideResult r;
+    r.stride = stride;
+    const auto count = static_cast<std::size_t>((n - window) / stride + 1);
+    r.windows = static_cast<Index>(count);
+    r.profitable = strided_walk_profitable(kernel.order(), stride);
+
+    std::vector<HQuery> lowered;
+    lowered.reserve(count);
+    for (std::size_t t = 0; t < count; ++t) {
+      const Index j0 = static_cast<Index>(t) * stride;
+      lowered.push_back(string_substring_query(window, n, j0, j0 + window));
+    }
+    std::vector<Index> naive(count);
+    const auto naive_all = [&] {
+      index.answer_many(lowered.data(), naive.data(), count);
+      if (naive[0] < 0) std::abort();
+    };
+    r.naive_windows_per_s = static_cast<double>(count) / median_seconds(naive_all);
+
+    std::vector<Index> sigmas(count);
+    const auto planner_all = [&] {
+      strided_diagonal_sigma(index, perm, window, stride, count, sigmas.data());
+      if (sigmas[0] < 0) std::abort();
+    };
+    r.planner_windows_per_s =
+        static_cast<double>(count) / median_seconds(planner_all);
+
+    for (std::size_t t = 0; t < count; ++t) {
+      if (window - sigmas[t] != naive[t]) ++r.mismatches;
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+void write_json(const std::string& path, const std::vector<LengthResult>& results,
+                const std::vector<StrideResult>& strides) {
   std::filesystem::create_directories(std::filesystem::path(path).parent_path());
   std::ofstream out(path);
   out << "{\n  \"lengths\": [\n";
@@ -166,6 +228,17 @@ void write_json(const std::string& path, const std::vector<LengthResult>& result
         << ", \"crossover_queries\": " << r.crossover_queries()
         << ", \"index_bytes\": " << r.index_bytes << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"plot_strides\": [\n";
+  for (std::size_t i = 0; i < strides.size(); ++i) {
+    const StrideResult& r = strides[i];
+    out << "    {\"stride\": " << r.stride << ", \"windows\": " << r.windows
+        << ", \"planner_windows_per_s\": " << r.planner_windows_per_s
+        << ", \"naive_windows_per_s\": " << r.naive_windows_per_s
+        << ", \"speedup\": " << r.planner_windows_per_s / r.naive_windows_per_s
+        << ", \"profitable\": " << (r.profitable ? "true" : "false")
+        << ", \"mismatches\": " << r.mismatches << "}"
+        << (i + 1 < strides.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "query report written to " << path << "\n";
@@ -196,6 +269,24 @@ int main() {
         .cell(static_cast<long long>(r.index_bytes));
   }
   table.print(std::cout, "scan vs QueryIndex crossover per pair length");
-  write_json("results/bench_query.json", results);
+
+  const std::vector<StrideResult> strides = run_stride_sweep(4000, 64);
+  Table stride_table({"stride", "windows", "planner_w_per_s", "naive_w_per_s",
+                      "speedup", "profitable", "mismatches"});
+  for (const StrideResult& r : strides) {
+    stride_table.row()
+        .cell(static_cast<long long>(r.stride))
+        .cell(static_cast<long long>(r.windows))
+        .cell(r.planner_windows_per_s, 0)
+        .cell(r.naive_windows_per_s, 0)
+        .cell(r.planner_windows_per_s / r.naive_windows_per_s, 2)
+        .cell(std::string(r.profitable ? "yes" : "no"))
+        .cell(static_cast<long long>(r.mismatches));
+  }
+  stride_table.print(std::cout,
+                     "plot-row seam walk vs batched descents per stride "
+                     "(window 64, pair 4000)");
+
+  write_json("results/bench_query.json", results, strides);
   return 0;
 }

@@ -33,6 +33,14 @@
 # The bench gate additionally enforces the shard_sweep contract: zero wrong
 # answers anywhere, and >= 2.5x aggregate throughput at 4 shards vs 1.
 #
+# The plot label slice is re-run under ASan too: the alignment-plot path
+# splices hostile grid dimensions into raw frames, reassembles multi-tile
+# streams, and relays them through the router -- byte-parsing code where an
+# off-by-one lives or dies by the sanitizer. The bench gate then enforces the
+# plot_sweep contract: the grid planner must beat per-window lowering by
+# >= 3x warm windows/s, with zero oracle mismatches and zero scan fallbacks
+# (a fallback means the planner silently declined a grid it claims to own).
+#
 # The serve gate then stands up the real semilocal_serve reactor and fires
 # the open-loop loadgen at it: 10000 concurrent sockets at 5000 req/s, which
 # must finish with zero stalled sockets (loadgen exits nonzero otherwise),
@@ -90,6 +98,13 @@ if ! ctest --preset asan -N -L 'shard' | grep -q 'Total Tests: [1-9]'; then
 fi
 ctest --preset asan -j "$jobs" -L 'shard'
 
+echo "==> plot slice under ASan"
+if ! ctest --preset asan -N -L 'plot' | grep -q 'Total Tests: [1-9]'; then
+  echo "error: no tests carry the plot label" >&2
+  exit 1
+fi
+ctest --preset asan -j "$jobs" -L 'plot'
+
 echo "==> bench gate: mmap happy path + frontend sweep (scaled bench_engine)"
 cmake --build --preset release -j "$jobs" --target bench_engine >/dev/null
 # Run from the build dir so the committed results/ JSON is not clobbered.
@@ -124,6 +139,25 @@ speedup=$(grep -o '"speedup_4x_vs_1x": *[0-9.]*' build/release/results/bench_eng
           | head -n1 | grep -o '[0-9.]*$')
 if ! awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 2.5) }'; then
   echo "error: shard_sweep speedup_4x_vs_1x=${speedup:-unset} < 2.5" >&2
+  exit 1
+fi
+# The alignment-plot planner claim, enforced: every cell oracle-exact, the
+# planner never silently falls back to the dominance scan, and warm
+# windows/s beat the per-window lowering ablation by >= 3x.
+if grep -Eq '"plot_mismatches": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: plot_sweep planner disagreed with the per-window oracle" >&2
+  grep -o '"plot_mismatches": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+if grep -Eq '"planner_scan_fallbacks": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: plot_sweep planner leg fell back to the dominance scan" >&2
+  grep -o '"planner_scan_fallbacks": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+plot_speedup=$(grep -o '"plot_speedup": *[0-9.]*' build/release/results/bench_engine.json \
+               | head -n1 | grep -o '[0-9.]*$')
+if ! awk -v s="${plot_speedup:-0}" 'BEGIN { exit !(s >= 3) }'; then
+  echo "error: plot_sweep plot_speedup=${plot_speedup:-unset} < 3" >&2
   exit 1
 fi
 

@@ -14,6 +14,7 @@
 // agreement on random kernels).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/types.hpp"
@@ -77,6 +78,69 @@ inline void check_h_range(Index order, Index i, Index j) {
     throw std::out_of_range("suffix_prefix: need s in [0,m], j in [0,n]");
   }
   return {m - s, j, s};
+}
+
+// ---------------------------------------------------------------------------
+// Alignment plots (Krusche-Tiskin): a (rows x cols) grid of equal-width
+// windows, cell (u, v) = LCS(a[row0 + u*step, +window), b[col0 + v*step,
+// +window)). One request lowers to rows*cols correlated window queries; the
+// grid-aware planner in core/query_index.hpp shares the wavelet descent
+// across each grid row.
+
+/// Wire- and engine-level description of one alignment plot.
+struct PlotSpec {
+  Index row0 = 0;    ///< first window's start offset in a
+  Index col0 = 0;    ///< first window's start offset in b
+  Index rows = 0;    ///< grid rows (windows along a)
+  Index cols = 0;    ///< grid cols (windows along b)
+  Index step = 1;    ///< grid stride in symbols
+  Index window = 1;  ///< window width in symbols
+  std::uint8_t quant = 16;  ///< cell width: 16 = raw u16 score, 8 = scaled u8
+
+  [[nodiscard]] Index cells() const { return rows * cols; }
+  /// Start of grid row u in a / grid col v in b.
+  [[nodiscard]] Index row_start(Index u) const { return row0 + u * step; }
+  [[nodiscard]] Index col_start(Index v) const { return col0 + v * step; }
+};
+
+/// Hostile-dimension ceilings, enforced at protocol decode (a bad frame must
+/// die at the 4th header byte's length check or here, never in the engine).
+inline constexpr Index kMaxPlotCells = Index{1} << 24;      ///< cells per plot
+inline constexpr Index kMaxPlotTileCells = Index{1} << 16;  ///< cells per tile
+inline constexpr Index kMaxPlotStep = Index{1} << 20;
+inline constexpr Index kMaxPlotWindow = 65535;  ///< scores must fit a u16 cell
+
+/// Structural validation, independent of any sequence pair: nullptr when the
+/// spec is well-formed, else a static message. Decode turns a non-null
+/// result into a ProtocolError; the engine turns one into std::out_of_range.
+[[nodiscard]] inline const char* validate_plot_spec(const PlotSpec& spec) {
+  if (spec.rows < 1 || spec.cols < 1) return "plot: grid must be at least 1x1";
+  if (spec.rows > kMaxPlotCells || spec.cols > kMaxPlotCells ||
+      spec.rows * spec.cols > kMaxPlotCells) {
+    return "plot: grid exceeds kMaxPlotCells";
+  }
+  if (spec.step < 1 || spec.step > kMaxPlotStep) return "plot: step outside [1, kMaxPlotStep]";
+  if (spec.window < 1 || spec.window > kMaxPlotWindow) {
+    return "plot: window outside [1, kMaxPlotWindow]";
+  }
+  if (spec.row0 < 0 || spec.col0 < 0) return "plot: negative origin";
+  if (spec.quant != 8 && spec.quant != 16) return "plot: quant must be 8 or 16";
+  return nullptr;
+}
+
+/// Extent validation against an actual pair (m = |a|, n = |b|): every window
+/// must lie inside its sequence. Assumes validate_plot_spec passed, whose
+/// caps keep `origin + (rows-1)*step + window` far below Index overflow.
+[[nodiscard]] inline const char* validate_plot_extent(const PlotSpec& spec, Index m,
+                                                      Index n) {
+  if (spec.row0 > m || spec.col0 > n) return "plot: origin outside the pair";
+  if (spec.row_start(spec.rows - 1) + spec.window > m) {
+    return "plot: row range runs off the end of a";
+  }
+  if (spec.col_start(spec.cols - 1) + spec.window > n) {
+    return "plot: col range runs off the end of b";
+  }
+  return nullptr;
 }
 
 }  // namespace semilocal

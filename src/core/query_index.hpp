@@ -109,4 +109,58 @@ class QueryIndex {
   Index n_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Grid-aware planner primitive for alignment plots.
+//
+// A plot row against a strip kernel (m = window) asks for width-w windows
+// b[j0, j0 + w) at stride `step`; string_substring_query lowers window j0 to
+// H(w + j0, j0 + w), i.e. every query in the row sits on the main diagonal:
+// cell = w - sigma(i, i) with i = w + j0. Adjacent windows share all of
+// their rank structure except the `step` strands that enter and leave, so
+// instead of k independent O(log n) wavelet descents the row needs ONE
+// anchoring descent and then a seam walk over the permutation arrays:
+//
+//   sigma(i+s, i+s) = sigma(i, i)
+//                     - |{ r in [i, i+s) : col_of(r) <  i   }|   (rows leaving)
+//                     + |{ c in [i, i+s) : row_of(c) >= i+s }|   (cols entering)
+//
+// Both correction terms are contiguous array sweeps, so a whole plot row is
+// two linear passes over the permutation -- cache-friendly and branch-light.
+
+/// Fills out[t] = sigma(start + t*step, start + t*step) for t in [0, count).
+/// One wavelet descent (the anchor) plus 2*step array probes per subsequent
+/// diagonal point. Requires start + (count-1)*step <= order.
+inline void strided_diagonal_sigma(const QueryIndex& index, const Permutation& perm,
+                                   Index start, Index step, std::size_t count,
+                                   Index* out) {
+  if (count == 0) return;
+  const auto& col_of = perm.row_to_col();
+  const auto& row_of = perm.col_to_row();
+  Index i = start;
+  Index sigma = index.sigma(i, i);
+  out[0] = sigma;
+  for (std::size_t t = 1; t < count; ++t) {
+    const Index ni = i + step;
+    Index drop = 0;
+    Index gain = 0;
+    for (Index r = i; r < ni; ++r) {
+      drop += (col_of[static_cast<std::size_t>(r)] < i) ? 1 : 0;
+      gain += (row_of[static_cast<std::size_t>(r)] >= ni) ? 1 : 0;
+    }
+    sigma += gain - drop;
+    i = ni;
+    out[t] = sigma;
+  }
+}
+
+/// Whether the seam walk beats independent interleaved descents for this
+/// stride: the walk costs ~2*step contiguous probes per cell, a descent
+/// ~2*ceil(log2(order)) dependent rank loads. The 2x headroom favors the
+/// walk's sequential access pattern over the descent's pointer chasing.
+[[nodiscard]] inline bool strided_walk_profitable(Index order, Index step) {
+  Index levels = 0;
+  while ((Index{1} << levels) < order) ++levels;
+  return step <= 2 * levels;
+}
+
 }  // namespace semilocal

@@ -2,6 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <deque>
+
 namespace semilocal {
 namespace {
 
@@ -32,8 +35,12 @@ ComparisonEngine::ComparisonEngine(EngineOptions options)
 
 std::shared_future<CachedKernelPtr> ComparisonEngine::entry_async(SequenceView a,
                                                                   SequenceView b) {
+  return entry_async_keyed(make_pair_key(a, b), a, b);
+}
+
+std::shared_future<CachedKernelPtr> ComparisonEngine::entry_async_keyed(
+    const PairKey& key, SequenceView a, SequenceView b) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const PairKey key = make_pair_key(a, b);
   const std::uint64_t lookup_ns = env_->now_ns();
   if (CachedKernelPtr hit = store_.find(key)) {
     latency_.record(static_cast<double>(env_->now_ns() - lookup_ns) / 1e6);
@@ -83,6 +90,102 @@ std::vector<Index> ComparisonEngine::answer_batch(
   return values;
 }
 
+void ComparisonEngine::alignment_plot(SequenceView a, SequenceView b,
+                                      const PlotSpec& spec,
+                                      const std::function<bool(PlotTile&&)>& emit,
+                                      bool drain_inline) {
+  if (const char* err = validate_plot_spec(spec)) throw std::out_of_range(err);
+  if (const char* err = validate_plot_extent(spec, static_cast<Index>(a.size()),
+                                             static_cast<Index>(b.size()))) {
+    throw std::out_of_range(err);
+  }
+  const Index tile_cells = std::clamp<Index>(options_.plot_tile_cells, 1, kMaxPlotTileCells);
+  const Index tile_cols = std::min(spec.cols, tile_cells);
+  const Index tile_rows = std::max<Index>(1, tile_cells / tile_cols);
+  const std::size_t cell_bytes = spec.quant == 16 ? 2 : 1;
+  const auto cols = static_cast<std::size_t>(spec.cols);
+
+  // Bounded strip prefetch: grid rows ahead of the cursor go to the
+  // scheduler so workers comb them in parallel; the bound keeps a huge plot
+  // from flooding the scheduler's admission queue.
+  const Index lookahead = std::min<Index>(spec.rows, 16);
+  std::deque<std::shared_future<CachedKernelPtr>> ahead;
+  Index next_submit = 0;
+  // One digest of b covers every grid row; only the window-sized strip of a
+  // is re-digested per row. At dense strides the per-row b re-digest would
+  // rival the seam walk itself.
+  const std::uint64_t hash_b = sequence_digest(b);
+  const auto top_up = [&] {
+    while (next_submit < spec.rows && static_cast<Index>(ahead.size()) < lookahead) {
+      const Index start = spec.row_start(next_submit);
+      const SequenceView strip_a = a.subspan(static_cast<std::size_t>(start),
+                                             static_cast<std::size_t>(spec.window));
+      const PairKey key{.hash_a = sequence_digest(strip_a),
+                        .hash_b = hash_b,
+                        .len_a = spec.window,
+                        .len_b = static_cast<Index>(b.size())};
+      ahead.push_back(entry_async_keyed(key, strip_a, b));
+      ++next_submit;
+    }
+    if (drain_inline) scheduler_.drain();
+  };
+
+  // Emits one horizontal band (band_rows full grid rows of raw scores) as
+  // one or more quantized tiles. Returns false when the consumer cancels.
+  const auto flush_band = [&](Index band_row0, Index band_rows,
+                              const std::vector<Index>& band, bool last_band) {
+    for (Index c0 = 0; c0 < spec.cols; c0 += tile_cols) {
+      const Index tc = std::min(tile_cols, spec.cols - c0);
+      PlotTile tile;
+      tile.row0 = band_row0;
+      tile.col0 = c0;
+      tile.rows = static_cast<std::uint32_t>(band_rows);
+      tile.cols = static_cast<std::uint32_t>(tc);
+      tile.quant = spec.quant;
+      tile.last = last_band && c0 + tc == spec.cols;
+      tile.cells.resize(static_cast<std::size_t>(band_rows) *
+                        static_cast<std::size_t>(tc) * cell_bytes);
+      auto* dst = reinterpret_cast<unsigned char*>(tile.cells.data());
+      for (Index r = 0; r < band_rows; ++r) {
+        const Index* src = band.data() + static_cast<std::size_t>(r) * cols +
+                           static_cast<std::size_t>(c0);
+        for (Index c = 0; c < tc; ++c) {
+          if (spec.quant == 16) {
+            const auto v = static_cast<std::uint16_t>(src[c]);
+            *dst++ = static_cast<unsigned char>(v & 0xff);
+            *dst++ = static_cast<unsigned char>(v >> 8);
+          } else {
+            *dst++ = static_cast<unsigned char>((src[c] * 255 + spec.window / 2) /
+                                                spec.window);
+          }
+        }
+      }
+      counters_.plot_tiles.fetch_add(1, std::memory_order_relaxed);
+      if (!emit(std::move(tile))) return false;
+    }
+    return true;
+  };
+
+  std::vector<Index> band(static_cast<std::size_t>(tile_rows) * cols);
+  Index band_row0 = 0;
+  Index band_fill = 0;
+  top_up();
+  for (Index u = 0; u < spec.rows; ++u) {
+    const CachedKernelPtr strip = ahead.front().get();
+    ahead.pop_front();
+    top_up();
+    answer_plot_row(*strip, spec.col0, spec.step, spec.window, cols,
+                    band.data() + static_cast<std::size_t>(band_fill) * cols,
+                    options_.plot_planner, options_.index_queries, &counters_);
+    ++band_fill;
+    if (band_fill == tile_rows || u + 1 == spec.rows) {
+      if (!flush_band(band_row0, band_fill, band, u + 1 == spec.rows)) return;
+      band_row0 = u + 1;
+      band_fill = 0;
+    }
+  }
+}
+
 std::string stats_json(const EngineStats& s) {
   std::string out = "{";
   const auto field = [&out](const char* name, auto value, bool last = false) {
@@ -128,6 +231,9 @@ std::string stats_json(const EngineStats& s) {
   field("queries_scanned", s.queries.scanned);
   field("queries_compressed", s.queries.compressed);
   field("index_builds", s.queries.index_builds);
+  field("plot_tiles", s.queries.plot_tiles);
+  field("plot_windows", s.queries.plot_windows);
+  field("plot_reused_descents", s.queries.plot_reused_descents);
   field("latency_count", s.latency.count);
   field("p50_ms", s.latency.p50_ms);
   field("p90_ms", s.latency.p90_ms);
@@ -158,7 +264,12 @@ EngineStats ComparisonEngine::stats() const {
                      .compressed =
                          counters_.compressed.load(std::memory_order_relaxed),
                      .blocks_decoded =
-                         counters_.blocks_decoded.load(std::memory_order_relaxed)},
+                         counters_.blocks_decoded.load(std::memory_order_relaxed),
+                     .plot_tiles = counters_.plot_tiles.load(std::memory_order_relaxed),
+                     .plot_windows =
+                         counters_.plot_windows.load(std::memory_order_relaxed),
+                     .plot_reused_descents = counters_.plot_reused_descents.load(
+                         std::memory_order_relaxed)},
       .latency = latency_.snapshot(),
       .uptime_ms = (env_->now_ns() - start_ns_) / 1'000'000,
       .pid = static_cast<std::int64_t>(::getpid())};

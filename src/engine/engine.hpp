@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <vector>
 
@@ -42,6 +43,14 @@ struct EngineOptions {
   /// Route queries through each entry's QueryIndex (O(log n), built once).
   /// false = always use the O(m + n) dominance scan.
   bool index_queries = true;
+  /// Alignment plots: share the wavelet descent across each grid row via the
+  /// strided seam walk. false = lower every cell as an independent window
+  /// query -- the ablation knob the plot bench flips.
+  bool plot_planner = true;
+  /// Target cells per streamed plot tile (clamped to kMaxPlotTileCells).
+  /// Small values force multi-tile streams; tests use that to exercise
+  /// reassembly and backpressure.
+  Index plot_tile_cells = Index{1} << 16;
   /// Filesystem + clock the whole engine runs on (store I/O, scheduler and
   /// lookup latency clocks). nullptr = real_env(). A non-null store.env /
   /// scheduler.env takes precedence for that component.
@@ -120,6 +129,21 @@ class ComparisonEngine {
   std::vector<Index> answer_batch(const CachedKernel& entry,
                                   const std::vector<WindowQuery>& windows);
 
+  /// Streams the alignment plot of `spec` over (a, b): cell (u, v) =
+  /// LCS(a[row0 + u*step, +window), b[col0 + v*step, +window)), delivered
+  /// row-major as quantized tiles of at most plot_tile_cells cells each
+  /// through `emit` (the final tile has `last` set). The grid never
+  /// materializes whole: each grid row needs one strip kernel (a-window, b),
+  /// acquired through the normal cache/scheduler path with a bounded
+  /// prefetch fan-out, so rows compute in parallel across workers and
+  /// repeated plots hit the LRU. `emit` returning false cancels the stream
+  /// (no further tiles, no terminal frame). Throws std::out_of_range on a
+  /// bad spec/extent and EngineOverloaded under scheduler backpressure.
+  /// `drain_inline` runs queued compute on this thread (workers = 0 mode).
+  void alignment_plot(SequenceView a, SequenceView b, const PlotSpec& spec,
+                      const std::function<bool(PlotTile&&)>& emit,
+                      bool drain_inline = false);
+
   [[nodiscard]] EngineStats stats() const;
 
   /// Runs queued work on the calling thread (see KernelScheduler::drain).
@@ -128,6 +152,14 @@ class ComparisonEngine {
   [[nodiscard]] KernelStore& store() { return store_; }
 
  private:
+  /// entry_async with the content key already computed. The alignment-plot
+  /// planner digests `b` once per plot instead of once per grid row -- at
+  /// dense strides the per-row re-digest would otherwise rival the query
+  /// work itself. `key` must equal make_pair_key(a, b).
+  std::shared_future<CachedKernelPtr> entry_async_keyed(const PairKey& key,
+                                                        SequenceView a,
+                                                        SequenceView b);
+
   EngineOptions options_;
   Env* env_;
   KernelStore store_;

@@ -197,11 +197,26 @@ struct FrontendServer::Impl {
 
   /// One response slot, in request order. Responses flush strictly FIFO per
   /// connection, so a fast cache hit never overtakes a cold compute that
-  /// arrived first on the same socket.
+  /// arrived first on the same socket. A streaming op (kAlignmentPlot) lands
+  /// several completions in one slot: each tile's bytes flush as they arrive,
+  /// but the slot retires only once its terminal frame has been queued.
   struct Pending {
     std::uint64_t seq = 0;
-    bool ready = false;
-    std::string bytes;  // the fully framed response
+    bool done = false;  // terminal frame received; slot retires once flushed
+    std::string bytes;  // framed bytes not yet moved into the flush buffer
+  };
+
+  /// Hand-off between a streaming pump and the event loop: the pump posts a
+  /// tile completion carrying this gate, then blocks until the loop grants
+  /// the next tile (write queue drained below the watermark) or cancels
+  /// (connection gone, shutdown). This is how a million-cell plot streams
+  /// through a bounded write queue without the pump racing ahead of the
+  /// socket.
+  struct StreamGate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool proceed = false;
+    bool cancel = false;
   };
 
   struct Conn {
@@ -229,6 +244,12 @@ struct FrontendServer::Impl {
     /// closes a connection from inside FrameDecoder::feed must not free the
     /// decoder that is still executing under its feet.
     bool dead = false;
+    /// Streams paced by this loop: gates park here when the write queue sits
+    /// above the watermark, and flush grants them once it drains.
+    /// stream_parked_ns is when the oldest still-parked gate stalled -- a
+    /// peer that never drains its socket trips the read-timeout clock on it.
+    std::vector<std::shared_ptr<StreamGate>> parked_gates;
+    std::uint64_t stream_parked_ns = 0;
   };
 
   /// A cold request parked on a scheduler future, waiting for a pump.
@@ -242,7 +263,9 @@ struct FrontendServer::Impl {
   struct Completion {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
-    std::string bytes;  // framed response
+    std::string bytes;  // framed response (one stream frame for plots)
+    bool done = true;   // terminal: the slot may retire once flushed
+    std::shared_ptr<StreamGate> gate;  // non-null while the stream pends
   };
 
   ComparisonEngine* engine;  ///< nullptr in handler mode
@@ -382,11 +405,32 @@ struct FrontendServer::Impl {
     ::close(fd);
   }
 
+  static void gate_signal(StreamGate& gate, bool cancel) {
+    {
+      std::lock_guard lock(gate.mutex);
+      (cancel ? gate.cancel : gate.proceed) = true;
+    }
+    gate.cv.notify_all();
+  }
+
+  [[nodiscard]] static std::size_t queued_bytes(const Conn& conn) {
+    return (conn.out.size() - conn.out_off) + conn.pending_ready_bytes;
+  }
+
+  /// Streams pause once a connection's queued bytes pass this and resume
+  /// when flush drains back under it; half the cap leaves room for one more
+  /// tile frame without tripping the disconnect cap.
+  [[nodiscard]] std::size_t stream_watermark() const {
+    return options.max_write_queue_bytes / 2;
+  }
+
   void close_conn(std::uint64_t id) {
     const auto it = conns.find(id);
     if (it == conns.end()) return;
     Conn& conn = *it->second;
     conn.dead = true;
+    for (const auto& gate : conn.parked_gates) gate_signal(*gate, /*cancel=*/true);
+    conn.parked_gates.clear();
     ::close(conn.fd);  // EPOLL_CTL_DEL is implicit in close(2)
     conn.fd = -1;
     graveyard.push_back(std::move(it->second));  // freed after this iteration
@@ -526,6 +570,20 @@ struct FrontendServer::Impl {
     }
     request.a = ingest(options.dna, std::move(request.a));
     request.b = ingest(options.dna, std::move(request.b));
+    if (request.op == Op::kAlignmentPlot) {
+      // Plots always stream from a pump, never inline: even a fully warm
+      // plot emits megabytes of tiles, and the pump's gate paces that
+      // against this loop's write queue one tile at a time.
+      const std::uint64_t seq = conn.next_seq++;
+      conn.pending.push_back(Pending{seq, false, {}});
+      ++conn.inflight;
+      {
+        std::lock_guard lock(pump_mutex);
+        pump_queue.push_back(Ticket{conn.id, seq, {}, std::move(request)});
+      }
+      pump_ready.notify_one();
+      return;
+    }
     std::shared_future<CachedKernelPtr> future;
     try {
       future = engine->entry_async(request.a, request.b);
@@ -577,9 +635,14 @@ struct FrontendServer::Impl {
   /// socket takes, enforces the write-queue cap, arms EPOLLOUT for the rest.
   void flush(Conn& conn) {
     if (conn.dead) return;
-    while (!conn.pending.empty() && conn.pending.front().ready) {
-      conn.pending_ready_bytes -= conn.pending.front().bytes.size();
-      conn.out += conn.pending.front().bytes;
+    while (!conn.pending.empty()) {
+      Pending& head = conn.pending.front();
+      if (!head.bytes.empty()) {
+        conn.pending_ready_bytes -= head.bytes.size();
+        conn.out += head.bytes;
+        head.bytes.clear();
+      }
+      if (!head.done) break;  // a stream's flushed head still holds its slot
       conn.pending.pop_front();
     }
     while (conn.out_off < conn.out.size()) {
@@ -599,12 +662,17 @@ struct FrontendServer::Impl {
     // early return below: a cold compute holding the FIFO head parks every
     // later warm response in pending while out stays empty, and that shape
     // must be bounded exactly like a saturated socket.
-    const std::size_t queued =
-        (conn.out.size() - conn.out_off) + conn.pending_ready_bytes;
+    const std::size_t queued = queued_bytes(conn);
     if (queued > options.max_write_queue_bytes) {
       counters.write_queue_disconnects.fetch_add(1, std::memory_order_relaxed);
       close_conn(conn.id);
       return;
+    }
+    if (!conn.parked_gates.empty() && queued <= stream_watermark()) {
+      // The socket drained: wake every stream paced on this connection.
+      for (const auto& gate : conn.parked_gates) gate_signal(*gate, /*cancel=*/false);
+      conn.parked_gates.clear();
+      conn.stream_parked_ns = 0;
     }
     if (conn.out_off == conn.out.size()) {
       conn.out.clear();
@@ -637,6 +705,10 @@ struct FrontendServer::Impl {
         ticket = std::move(pump_queue.front());
         pump_queue.pop_front();
       }
+      if (ticket.request.op == Op::kAlignmentPlot) {
+        stream_ticket(ticket);
+        continue;
+      }
       Response response;
       bool abandoned = false;
       try {
@@ -664,14 +736,88 @@ struct FrontendServer::Impl {
       }
       if (abandoned) continue;  // shutdown: the connection is being torn down
       counters.pump_answers.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard lock(completion_mutex);
-        completions.push_back(Completion{ticket.conn_id, ticket.seq,
-                                         frame_payload(encode_response(response))});
-      }
-      const std::uint64_t one = 1;
-      (void)::write(completion_fd, &one, sizeof(one));
+      post_completion(ticket, frame_payload(encode_response(response)),
+                      /*done=*/true, nullptr);
     }
+  }
+
+  void post_completion(const Ticket& ticket, std::string bytes, bool done,
+                       std::shared_ptr<StreamGate> gate) {
+    {
+      std::lock_guard lock(completion_mutex);
+      completions.push_back(
+          Completion{ticket.conn_id, ticket.seq, std::move(bytes), done, std::move(gate)});
+    }
+    const std::uint64_t one = 1;
+    (void)::write(completion_fd, &one, sizeof(one));
+  }
+
+  /// Streams a plot ticket: every tile posts as its own completion into the
+  /// ticket's pending slot, and between tiles the pump blocks on a gate the
+  /// event loop grants once the connection's write queue has drained below
+  /// the watermark. The plot therefore crosses the reactor one bounded frame
+  /// at a time -- the write-queue cap holds no matter how many cells the
+  /// grid has.
+  void stream_ticket(Ticket& ticket) {
+    auto gate = std::make_shared<StreamGate>();
+    bool cancelled = false;
+    const auto post = [&](Response&& response) {
+      const bool done = terminal_response_frame(response);
+      std::string bytes;
+      try {
+        bytes = frame_payload(encode_response(response));
+      } catch (const std::exception& e) {
+        // An unencodable frame (stream-handler bug) still terminates the slot.
+        cancelled = true;
+        post_completion(ticket, frame_payload(encode_response(error_response(e.what()))),
+                        /*done=*/true, nullptr);
+        return false;
+      }
+      post_completion(ticket, std::move(bytes), done, done ? nullptr : gate);
+      if (done) return true;
+      std::unique_lock lock(gate->mutex);
+      while (!gate->proceed && !gate->cancel) {
+        if (hard_stop.load(std::memory_order_relaxed)) {
+          cancelled = true;
+          return false;
+        }
+        gate->cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      if (gate->cancel) {
+        cancelled = true;
+        return false;
+      }
+      gate->proceed = false;
+      return true;
+    };
+    try {
+      if (options.handler) {
+        if (options.stream_handler) {
+          options.stream_handler(ticket.request,
+                                 [&](Response&& r) { return post(std::move(r)); });
+        } else {
+          post(error_response("alignment plot: no stream handler"));
+        }
+      } else if (!ticket.request.plot) {
+        post(error_response("plot request without a plot spec"));
+      } else {
+        if (options.drain_inline) engine->drain();
+        engine->alignment_plot(
+            ticket.request.a, ticket.request.b, *ticket.request.plot,
+            [&](PlotTile&& tile) {
+              Response r;
+              r.tile = std::move(tile);
+              return post(std::move(r));
+            },
+            options.drain_inline);
+      }
+    } catch (const EngineOverloaded& e) {
+      counters.retry_after.fetch_add(1, std::memory_order_relaxed);
+      if (!cancelled) post(overloaded_response(e.retry_after_ms(), e.what()));
+    } catch (const std::exception& e) {
+      if (!cancelled) post(error_response(e.what()));
+    }
+    counters.pump_answers.fetch_add(1, std::memory_order_relaxed);
   }
 
   void completions_ready() {
@@ -684,16 +830,37 @@ struct FrontendServer::Impl {
     }
     for (Completion& c : batch) {
       const auto it = conns.find(c.conn_id);
-      if (it == conns.end()) continue;  // connection died while computing
+      if (it == conns.end()) {  // connection died while computing
+        if (c.gate) gate_signal(*c.gate, /*cancel=*/true);
+        continue;
+      }
       Conn& conn = *it->second;
-      // Slots are contiguous seqs; index the deque directly.
+      // Slots are contiguous seqs; index the deque directly. Stream frames
+      // accumulate into their slot (flush drains the head's bytes even
+      // before the slot is done).
       const std::uint64_t base = conn.pending.front().seq;
       Pending& slot = conn.pending[static_cast<std::size_t>(c.seq - base)];
-      slot.ready = true;
-      slot.bytes = std::move(c.bytes);
-      conn.pending_ready_bytes += slot.bytes.size();
-      --conn.inflight;
+      slot.bytes += c.bytes;
+      conn.pending_ready_bytes += c.bytes.size();
+      if (c.done) {
+        slot.done = true;
+        --conn.inflight;
+      }
       flush(conn);
+      if (c.gate) {
+        // The pump is holding the next tile; grant it room now or park the
+        // gate for flush to grant once the socket drains.
+        const auto again = conns.find(c.conn_id);
+        if (again == conns.end()) {
+          gate_signal(*c.gate, /*cancel=*/true);
+        } else if (queued_bytes(*again->second) <= stream_watermark()) {
+          gate_signal(*c.gate, /*cancel=*/false);
+        } else {
+          Conn& live = *again->second;
+          if (live.parked_gates.empty()) live.stream_parked_ns = env->now_ns();
+          live.parked_gates.push_back(std::move(c.gate));
+        }
+      }
     }
   }
 
@@ -704,10 +871,19 @@ struct FrontendServer::Impl {
     const std::uint64_t now = env->now_ns();
     std::vector<std::uint64_t> doomed_idle;
     std::vector<std::uint64_t> doomed_read;
+    std::vector<std::uint64_t> doomed_stall;
     for (const auto& [id, conn] : conns) {
       if (options.read_timeout_ms != 0 && conn->frame_start_ns != 0 &&
           now - conn->frame_start_ns > options.read_timeout_ms * 1'000'000) {
         doomed_read.push_back(id);
+        continue;
+      }
+      // A paced stream parks below the disconnect cap, so a peer that stops
+      // reading mid-plot never trips it; bound that stall with the
+      // read-timeout clock instead.
+      if (options.read_timeout_ms != 0 && conn->stream_parked_ns != 0 &&
+          now - conn->stream_parked_ns > options.read_timeout_ms * 1'000'000) {
+        doomed_stall.push_back(id);
         continue;
       }
       const bool idle = conn->pending.empty() && !conn->decoder.mid_frame() &&
@@ -719,6 +895,10 @@ struct FrontendServer::Impl {
     }
     for (const std::uint64_t id : doomed_read) {
       counters.timeouts_read.fetch_add(1, std::memory_order_relaxed);
+      close_conn(id);
+    }
+    for (const std::uint64_t id : doomed_stall) {
+      counters.write_queue_disconnects.fetch_add(1, std::memory_order_relaxed);
       close_conn(id);
     }
     for (const std::uint64_t id : doomed_idle) {
@@ -922,6 +1102,39 @@ struct ThreadedFrontend::Impl {
     return true;
   }
 
+  /// Streams a plot on the session thread: write_all blocks on the socket,
+  /// which is the backpressure -- a slow reader slows the compute instead of
+  /// buffering tiles. Returns false when the connection is gone.
+  bool stream_plot(int fd, const Request& request, const std::string& label) {
+    bool ok = true;
+    try {
+      if (!request.plot) throw std::out_of_range("plot request without a plot spec");
+      const Sequence a = ingest(options.dna, request.a);
+      const Sequence b = ingest(options.dna, request.b);
+      engine.alignment_plot(
+          a, b, *request.plot,
+          [&](PlotTile&& tile) {
+            Response response;
+            response.tile = std::move(tile);
+            ok = write_all(fd, frame_payload(encode_response(response)), label);
+            return ok;
+          },
+          options.drain_inline);
+    } catch (const EngineOverloaded& e) {
+      counters.retry_after.fetch_add(1, std::memory_order_relaxed);
+      ok = write_all(fd,
+                     frame_payload(encode_response(
+                         overloaded_response(e.retry_after_ms(), e.what()))),
+                     label) &&
+           ok;
+    } catch (const std::exception& e) {
+      ok = write_all(fd, frame_payload(encode_response(error_response(e.what()))),
+                     label) &&
+           ok;
+    }
+    return ok;
+  }
+
   void session_loop(Session& session, const std::string& label) {
     FrameDecoder decoder;
     char buf[1 << 16];
@@ -938,13 +1151,23 @@ struct ThreadedFrontend::Impl {
                                                            std::memory_order_relaxed);
                        }
                        Response response;
+                       bool answered = false;
                        try {
-                         response = handle(decode_request(payload));
+                         Request request = decode_request(payload);
+                         if (request.op == Op::kAlignmentPlot) {
+                           counters.inline_answers.fetch_add(
+                               1, std::memory_order_relaxed);
+                           if (!stream_plot(session.fd, request, label)) open = false;
+                           answered = true;
+                         } else {
+                           response = handle(request);
+                         }
                        } catch (const ProtocolError& e) {
                          counters.protocol_errors.fetch_add(
                              1, std::memory_order_relaxed);
                          response = error_response(e.what());
                        }
+                       if (answered) return;
                        counters.inline_answers.fetch_add(1, std::memory_order_relaxed);
                        if (!write_all(session.fd,
                                       frame_payload(encode_response(response)),

@@ -91,6 +91,14 @@ struct FrontendOptions {
   /// JSON gets this frontend's frontend_* counters spliced in, same as the
   /// engine path. This is how the shard router reuses the reactor loop.
   std::function<Response(const Request&)> handler;
+  /// Streaming twin of `handler` for multi-frame ops (Op::kAlignmentPlot):
+  /// runs on a pump with a sink that ships one response frame per call. The
+  /// callee must end the stream with a terminal frame (see
+  /// terminal_response_frame) and stop when the sink returns false (client
+  /// gone, stream cancelled). Handler mode only; when unset, plot requests
+  /// answer kError. Engine mode streams plots natively and ignores this.
+  std::function<void(const Request&, const std::function<bool(Response&&)>&)>
+      stream_handler;
 };
 
 /// Plain-value snapshot of the frontend counters (stats JSON: frontend_*).

@@ -36,6 +36,7 @@ std::uint64_t mono_ns() {
 struct PendingSend {
   std::uint64_t send_ns = 0;
   Index expected = -1;
+  std::string op_class;  // per_op latency bucket; empty = untagged
 };
 
 struct ClientConn {
@@ -106,6 +107,7 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
   latencies_ms.reserve(static_cast<std::size_t>(
       options.arrival_rate * static_cast<double>(options.duration_ms) / 1000.0) + 16);
   std::map<int, std::vector<double>> shard_latencies_ms;  // by response.shard
+  std::map<std::string, std::vector<double>> op_latencies_ms;  // by op class
   std::uint64_t last_response_ns = 0;
 
   const auto close_conn = [&](ClientConn& conn) {
@@ -136,32 +138,45 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
             [&](std::string_view payload, bool /*spanned*/) {
               ++result.received;
               last_response_ns = now;
+              // Decode before touching the FIFO: a streamed op (plot) lands
+              // several frames on one outstanding slot, and only the
+              // terminal frame retires it and records the latency sample.
+              Response response;
+              bool decoded = true;
+              try {
+                response = decode_response(payload);
+              } catch (const ProtocolError&) {
+                ++result.decode_errors;
+                decoded = false;
+              }
+              if (decoded && !terminal_response_frame(response)) return;
               double latency_ms = -1.0;
               Index expected = -1;
+              std::string op_class;
               if (!conn.outstanding.empty()) {
                 latency_ms =
                     static_cast<double>(now - conn.outstanding.front().send_ns) / 1e6;
                 expected = conn.outstanding.front().expected;
+                op_class = std::move(conn.outstanding.front().op_class);
                 latencies_ms.push_back(latency_ms);
                 conn.outstanding.pop_front();
               }
-              try {
-                const Response response = decode_response(payload);
-                if (response.status == Status::kOk) {
-                  ++result.ok;
-                  if (expected >= 0 && response.value != expected) {
-                    ++result.wrong_answers;
-                  }
-                } else if (response.status == Status::kOverloaded) {
-                  ++result.overloaded;
-                } else {
-                  ++result.errors;
+              if (!decoded) return;  // undecodable terminal: counted above
+              if (response.status == Status::kOk) {
+                ++result.ok;
+                if (expected >= 0 && response.value != expected) {
+                  ++result.wrong_answers;
                 }
-                if (response.shard >= 0 && latency_ms >= 0.0) {
-                  shard_latencies_ms[response.shard].push_back(latency_ms);
-                }
-              } catch (const ProtocolError&) {
-                ++result.decode_errors;
+              } else if (response.status == Status::kOverloaded) {
+                ++result.overloaded;
+              } else {
+                ++result.errors;
+              }
+              if (response.shard >= 0 && latency_ms >= 0.0) {
+                shard_latencies_ms[response.shard].push_back(latency_ms);
+              }
+              if (!op_class.empty() && latency_ms >= 0.0) {
+                op_latencies_ms[std::move(op_class)].push_back(latency_ms);
               }
             });
       } catch (const ProtocolError&) {
@@ -216,7 +231,8 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
       ++rr;
       conn.out += frame_payload(options.next_payload());
       conn.outstanding.push_back(PendingSend{
-          mono_ns(), options.next_expected ? options.next_expected() : Index{-1}});
+          mono_ns(), options.next_expected ? options.next_expected() : Index{-1},
+          options.next_op_class ? options.next_op_class() : std::string{}});
       ++result.sent;
       pump_writes(conn);
     }
@@ -286,6 +302,15 @@ OpenLoopResult run_open_loop(const OpenLoopOptions& options) {
     per.p99_ms = percentile(samples, 0.99);
     result.per_shard.push_back(per);
   }
+  for (auto& [op, samples] : op_latencies_ms) {
+    std::sort(samples.begin(), samples.end());
+    OpenLoopOpResult per;
+    per.op = op;
+    per.received = samples.size();
+    per.p50_ms = percentile(samples, 0.50);
+    per.p99_ms = percentile(samples, 0.99);
+    result.per_op.push_back(per);
+  }
   return result;
 }
 
@@ -329,6 +354,17 @@ std::string to_json(const OpenLoopResult& r) {
     if (i != 0) out += ", ";
     out += "{\"shard\": " + std::to_string(per.shard) +
            ", \"received\": " + std::to_string(per.received);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
+                  per.p50_ms, per.p99_ms);
+    out += buf;
+  }
+  out += "], \"per_op\": [";
+  for (std::size_t i = 0; i < r.per_op.size(); ++i) {
+    const OpenLoopOpResult& per = r.per_op[i];
+    if (i != 0) out += ", ";
+    out += "{\"op\": \"" + per.op +
+           "\", \"received\": " + std::to_string(per.received);
     char buf[64];
     std::snprintf(buf, sizeof(buf), ", \"p50_ms\": %.3f, \"p99_ms\": %.3f}",
                   per.p50_ms, per.p99_ms);

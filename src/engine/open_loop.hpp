@@ -47,11 +47,24 @@ struct OpenLoopOptions {
   /// the failover gate's red flag, because a router under churn may refuse
   /// (typed RETRY_AFTER) but must never answer wrong.
   std::function<Index()> next_expected;
+  /// Optional per-send op-class tag (e.g. "query", "batch", "plot"), called
+  /// once per send after next_payload; that request's latency lands in the
+  /// per_op bucket of the same name. Streamed ops (plots) record one sample
+  /// at their terminal frame -- whole-stream latency, not per-tile.
+  std::function<std::string()> next_op_class;
 };
 
 /// Latency breakdown for one serving shard (responses carrying shard >= 0).
 struct OpenLoopShardResult {
   int shard = -1;
+  std::uint64_t received = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Latency breakdown for one op class (see OpenLoopOptions::next_op_class).
+struct OpenLoopOpResult {
+  std::string op;
   std::uint64_t received = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -77,6 +90,8 @@ struct OpenLoopResult {
   double max_ms = 0.0;
   /// Per serving shard (router runs only; empty against a standalone server).
   std::vector<OpenLoopShardResult> per_shard;
+  /// Per op class (empty unless next_op_class was provided).
+  std::vector<OpenLoopOpResult> per_op;
 };
 
 /// Runs one open-loop measurement against a frontend. Blocking; returns when

@@ -53,6 +53,8 @@ class Reader {
     if (pos_ != data_.size()) throw ProtocolError("payload has trailing bytes");
   }
 
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
  private:
   std::span<const unsigned char> take(std::size_t n) {
     if (data_.size() - pos_ < n) throw ProtocolError("payload truncated");
@@ -114,8 +116,13 @@ std::string encode_request(const Request& request) {
   if (request.windows.size() > kMaxBatchWindows) {
     throw ProtocolError("batch window count exceeds limit");
   }
+  if (request.op == Op::kAlignmentPlot) {
+    if (!request.plot) throw ProtocolError("plot request without a plot spec");
+    if (const char* err = validate_plot_spec(*request.plot)) throw ProtocolError(err);
+  }
   std::string out;
-  out.reserve(25 + request.a.size() + request.b.size() + 17 * request.windows.size());
+  out.reserve(25 + request.a.size() + request.b.size() + 17 * request.windows.size() +
+              (request.plot ? 33 : 0));
   out.push_back(static_cast<char>(request.op));
   append_i64(out, request.x);
   append_i64(out, request.y);
@@ -128,6 +135,16 @@ std::string encode_request(const Request& request) {
     out.push_back(static_cast<char>(w.kind));
     append_i64(out, w.x);
     append_i64(out, w.y);
+  }
+  if (request.plot) {
+    const PlotSpec& p = *request.plot;
+    append_i64(out, p.row0);
+    append_i64(out, p.col0);
+    append_u32(out, static_cast<std::uint32_t>(p.rows));
+    append_u32(out, static_cast<std::uint32_t>(p.cols));
+    append_u32(out, static_cast<std::uint32_t>(p.step));
+    append_u32(out, static_cast<std::uint32_t>(p.window));
+    out.push_back(static_cast<char>(p.quant));
   }
   return out;
 }
@@ -145,6 +162,7 @@ Request decode_request(std::string_view payload) {
     case Op::kBatchQuery:
     case Op::kHealth:
     case Op::kShardCtl:
+    case Op::kAlignmentPlot:
       request.op = static_cast<Op>(op);
       break;
     default:
@@ -175,6 +193,20 @@ Request decode_request(std::string_view payload) {
     w.y = reader.i64();
     request.windows.push_back(w);
   }
+  if (request.op == Op::kAlignmentPlot) {
+    // Hostile dimensions die here, before the engine sees the request --
+    // the plot twin of the kMaxBatchWindows cap above.
+    PlotSpec plot;
+    plot.row0 = reader.i64();
+    plot.col0 = reader.i64();
+    plot.rows = static_cast<Index>(reader.u32());
+    plot.cols = static_cast<Index>(reader.u32());
+    plot.step = static_cast<Index>(reader.u32());
+    plot.window = static_cast<Index>(reader.u32());
+    plot.quant = reader.u8();
+    if (const char* err = validate_plot_spec(plot)) throw ProtocolError(err);
+    request.plot = plot;
+  }
   reader.expect_end();
   return request;
 }
@@ -183,8 +215,21 @@ std::string encode_response(const Response& response) {
   if (response.values.size() > kMaxBatchWindows) {
     throw ProtocolError("batch value count exceeds limit");
   }
+  if (response.tile) {
+    const PlotTile& t = *response.tile;
+    const std::size_t cells =
+        static_cast<std::size_t>(t.rows) * static_cast<std::size_t>(t.cols);
+    if (t.rows < 1 || t.cols < 1 || cells > static_cast<std::size_t>(kMaxPlotTileCells)) {
+      throw ProtocolError("plot tile dimensions exceed limit");
+    }
+    if (t.quant != 8 && t.quant != 16) throw ProtocolError("plot tile: bad quant");
+    if (t.cells.size() != cells * (t.quant == 16 ? 2 : 1)) {
+      throw ProtocolError("plot tile: cell byte count mismatch");
+    }
+  }
   std::string out;
-  out.reserve(25 + response.text.size() + 8 * response.values.size());
+  out.reserve(25 + response.text.size() + 8 * response.values.size() +
+              (response.tile ? 30 + response.tile->cells.size() : 0));
   out.push_back(static_cast<char>(response.status));
   append_i64(out, response.value);
   append_i64(out, response.retry_ms);
@@ -193,6 +238,17 @@ std::string encode_response(const Response& response) {
   append_u32(out, static_cast<std::uint32_t>(response.values.size()));
   for (const Index v : response.values) append_i64(out, v);
   append_u32(out, static_cast<std::uint32_t>(response.shard));
+  if (response.tile) {
+    const PlotTile& t = *response.tile;
+    append_i64(out, t.row0);
+    append_i64(out, t.col0);
+    append_u32(out, t.rows);
+    append_u32(out, t.cols);
+    out.push_back(static_cast<char>(t.quant));
+    out.push_back(static_cast<char>(t.last ? 1 : 0));
+    append_u32(out, static_cast<std::uint32_t>(t.cells.size()));
+    out += t.cells;
+  }
   return out;
 }
 
@@ -218,6 +274,33 @@ Response decode_response(std::string_view payload) {
   response.values.reserve(vals);
   for (std::uint32_t i = 0; i < vals; ++i) response.values.push_back(reader.i64());
   response.shard = static_cast<std::int32_t>(reader.u32());
+  if (!reader.at_end()) {
+    // Optional trailing tile block (kAlignmentPlot streams); absent frames
+    // end at the shard id, which keeps pre-plot peers decodable.
+    PlotTile tile;
+    tile.row0 = reader.i64();
+    tile.col0 = reader.i64();
+    tile.rows = reader.u32();
+    tile.cols = reader.u32();
+    tile.quant = reader.u8();
+    const auto last = reader.u8();
+    if (last > 1) throw ProtocolError("plot tile: bad last flag");
+    tile.last = last == 1;
+    if (tile.quant != 8 && tile.quant != 16) throw ProtocolError("plot tile: bad quant");
+    const std::size_t cells =
+        static_cast<std::size_t>(tile.rows) * static_cast<std::size_t>(tile.cols);
+    if (tile.rows < 1 || tile.cols < 1 ||
+        cells > static_cast<std::size_t>(kMaxPlotTileCells)) {
+      throw ProtocolError("plot tile dimensions exceed limit");
+    }
+    const std::uint32_t nbytes = reader.u32();
+    if (nbytes != cells * (tile.quant == 16 ? 2 : 1)) {
+      throw ProtocolError("plot tile: cell byte count mismatch");
+    }
+    tile.cells = reader.text(nbytes);
+    if (tile.row0 < 0 || tile.col0 < 0) throw ProtocolError("plot tile: negative origin");
+    response.tile = std::move(tile);
+  }
   reader.expect_end();
   return response;
 }

@@ -8,14 +8,23 @@
 //
 // Request payload:   u8 op | i64 x | i64 y | u32 |a| | u32 |b| | a | b
 //                    | u32 k | k * (u8 kind, i64 x, i64 y)
+//                    [| i64 row0 | i64 col0 | u32 rows | u32 cols
+//                     | u32 step | u32 window | u8 quant]
 //   (x, y are the query window for the substring ops; sequences travel as
 //    one byte per symbol, the to_sequence convention -- fine for DNA/text;
-//    the trailing window list is the kBatchQuery payload, empty otherwise)
+//    the trailing window list is the kBatchQuery payload, empty otherwise;
+//    the bracketed plot block is present exactly for kAlignmentPlot and its
+//    dimensions are capped at decode like kMaxBatchWindows)
 // Response payload:  u8 status | i64 value | i64 retry_ms | u32 len | text
 //                    | u32 k | k * i64 | i32 shard
+//                    [| i64 row0 | i64 col0 | u32 rows | u32 cols
+//                     | u8 quant | u8 last | u32 nbytes | cells]
 //   (the trailing value list answers kBatchQuery, one value per window; the
 //    shard id is -1 from a standalone server and the serving backend's id
-//    when the response travelled through the shard router)
+//    when the response travelled through the shard router; the bracketed
+//    tile block carries one chunk of a kAlignmentPlot stream -- a plot
+//    answer is a SEQUENCE of response frames, all kOk tiles, the final one
+//    flagged `last`; see terminal_response_frame)
 //
 // The same encode/decode pair runs on both ends (server, load generator,
 // tests), so framing bugs are structurally symmetric and caught by the
@@ -51,6 +60,7 @@ enum class Op : std::uint8_t {
   kBatchQuery = 5,       ///< k windows over one pair; values in response
   kHealth = 6,           ///< identity probe; text = {"pid", "uptime_ms", ...}
   kShardCtl = 7,         ///< router admin (x = command, y = shard, a = arg)
+  kAlignmentPlot = 8,    ///< grid of window LCS scores; streamed tile frames
 };
 
 /// kShardCtl command codes, carried in Request::x. The shard id travels in
@@ -76,6 +86,8 @@ struct Request {
   Index y = 0;
   /// kBatchQuery only: the k windows to answer over (a, b) in one frame.
   std::vector<WindowQuery> windows;
+  /// kAlignmentPlot only: the grid to plot over (a, b).
+  std::optional<PlotSpec> plot;
 };
 
 struct Response {
@@ -87,7 +99,17 @@ struct Response {
   std::vector<Index> values;
   /// Serving backend's shard id, stamped by the router; -1 = not sharded.
   std::int32_t shard = -1;
+  /// kAlignmentPlot only: one streamed tile of the plot.
+  std::optional<PlotTile> tile;
 };
+
+/// Whether this response frame ends its request's response stream. Every op
+/// except kAlignmentPlot answers with exactly one (terminal) frame; a plot
+/// streams kOk tile frames and terminates on the `last` tile -- or on any
+/// non-kOk frame, which aborts the stream.
+[[nodiscard]] inline bool terminal_response_frame(const Response& response) {
+  return response.status != Status::kOk || !response.tile || response.tile->last;
+}
 
 /// Frames larger than this are rejected on read and refused on write.
 inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;  // 64 MiB
@@ -200,6 +222,82 @@ class FrameDecoder {
   }
 
   std::string carry_;  ///< the (at most one) incomplete frame, header first
+};
+
+/// Client-side reassembly of a streamed plot into the full grid.
+///
+/// Tiles may arrive in any order and more than once: the shard router
+/// re-sends the whole plot to the next replica on mid-stream failover, so a
+/// client can legitimately see the stream's prefix twice. feed() dedups per
+/// cell; complete() reports when every grid cell has landed. Tiles that
+/// disagree with the grid (wrong quant, out of bounds, short cell payload)
+/// throw ProtocolError -- that is corruption, not reordering.
+class PlotAssembler {
+ public:
+  PlotAssembler(Index rows, Index cols, std::uint8_t quant)
+      : rows_(rows),
+        cols_(cols),
+        quant_(quant),
+        values_(static_cast<std::size_t>(rows * cols), 0),
+        filled_(static_cast<std::size_t>(rows * cols), 0) {}
+
+  /// Absorbs one kOk tile frame; non-tile frames are ignored. Returns the
+  /// number of cells this frame newly filled.
+  std::size_t feed(const Response& response) {
+    if (response.status != Status::kOk || !response.tile) return 0;
+    const PlotTile& t = *response.tile;
+    if (t.quant != quant_) throw ProtocolError("plot tile: quant mismatch");
+    if (t.row0 < 0 || t.col0 < 0 ||
+        t.row0 + static_cast<Index>(t.rows) > rows_ ||
+        t.col0 + static_cast<Index>(t.cols) > cols_) {
+      throw ProtocolError("plot tile outside the grid");
+    }
+    const std::size_t cell_bytes = quant_ == 16 ? 2 : 1;
+    if (t.cells.size() !=
+        static_cast<std::size_t>(t.rows) * static_cast<std::size_t>(t.cols) * cell_bytes) {
+      throw ProtocolError("plot tile: cell byte count mismatch");
+    }
+    std::size_t fresh = 0;
+    const auto* src = reinterpret_cast<const unsigned char*>(t.cells.data());
+    for (std::uint32_t r = 0; r < t.rows; ++r) {
+      for (std::uint32_t c = 0; c < t.cols; ++c) {
+        const Index value = quant_ == 16
+                                ? static_cast<Index>(src[0]) | (static_cast<Index>(src[1]) << 8)
+                                : static_cast<Index>(src[0]);
+        src += cell_bytes;
+        const auto idx = static_cast<std::size_t>((t.row0 + r) * cols_ + t.col0 + c);
+        if (filled_[idx]) {
+          ++duplicate_cells_;
+          continue;
+        }
+        filled_[idx] = 1;
+        values_[idx] = value;
+        ++fresh;
+      }
+    }
+    filled_count_ += fresh;
+    return fresh;
+  }
+
+  [[nodiscard]] bool complete() const { return filled_count_ == values_.size(); }
+  [[nodiscard]] std::size_t filled() const { return filled_count_; }
+  [[nodiscard]] std::uint64_t duplicate_cells() const { return duplicate_cells_; }
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  /// Cell (u, v): the raw u16 score for quant 16, the scaled u8 for quant 8.
+  [[nodiscard]] Index cell(Index u, Index v) const {
+    return values_[static_cast<std::size_t>(u * cols_ + v)];
+  }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::uint8_t quant_;
+  std::vector<Index> values_;
+  std::vector<unsigned char> filled_;
+  std::size_t filled_count_ = 0;
+  std::uint64_t duplicate_cells_ = 0;
 };
 
 }  // namespace semilocal

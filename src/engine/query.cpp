@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "core/query_formulas.hpp"
 
@@ -122,6 +123,44 @@ void answer_query_batch(const CachedKernel& entry, const WindowQuery* windows,
     out[t] = answer_query(entry, windows[t].kind, windows[t].x, windows[t].y,
                           /*use_index=*/false, counters);
   }
+}
+
+void answer_plot_row(const CachedKernel& entry, Index col0, Index step, Index window,
+                     std::size_t count, Index* out, bool use_planner, bool use_index,
+                     QueryCounters* counters) {
+  if (count == 0) return;
+  if (entry.m() != window) {
+    throw std::out_of_range("answer_plot_row: entry is not a strip of the window width");
+  }
+  const Index n = entry.n();
+  const Index last_j0 = col0 + static_cast<Index>(count - 1) * step;
+  if (col0 < 0 || last_j0 + window > n) {
+    throw std::out_of_range("answer_plot_row: row runs off the end of b");
+  }
+  if (counters) counters->plot_windows.fetch_add(count, std::memory_order_relaxed);
+  if (use_planner && use_index && strided_walk_profitable(entry.order(), step)) {
+    // On the diagonal: window b[j0, j0+w) sits at H(w + j0, j0 + w), so the
+    // whole row is sigma(i, i) at stride `step` -- one anchoring descent,
+    // then the seam walk (core/query_index.hpp).
+    const QueryIndex& index =
+        entry.index(counters ? &counters->index_builds : nullptr);
+    const Permutation& perm = entry.kernel().permutation();
+    strided_diagonal_sigma(index, perm, window + col0, step, count, out);
+    for (std::size_t v = 0; v < count; ++v) out[v] = window - out[v];
+    if (counters) {
+      counters->indexed.fetch_add(1, std::memory_order_relaxed);
+      counters->plot_reused_descents.fetch_add(count - 1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Naive lowering: `count` independent string-substring windows through the
+  // ordinary batch path (interleaved descents, or compressed streaming).
+  std::vector<WindowQuery> windows(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    const Index j0 = col0 + static_cast<Index>(v) * step;
+    windows[v] = {QueryKind::kStringSubstring, j0, j0 + window};
+  }
+  answer_query_batch(entry, windows.data(), out, count, use_index, counters);
 }
 
 }  // namespace semilocal

@@ -24,8 +24,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/kernel.hpp"
+#include "core/query_formulas.hpp"
 #include "engine/lru_cache.hpp"
 #include "util/types.hpp"
 
@@ -57,6 +59,9 @@ struct QueryCounters {
   std::atomic<std::uint64_t> index_builds{0};  ///< QueryIndex constructions
   std::atomic<std::uint64_t> compressed{0};    ///< queries streamed off v3 blocks
   std::atomic<std::uint64_t> blocks_decoded{0};  ///< v3 blocks decoded by queries
+  std::atomic<std::uint64_t> plot_tiles{0};      ///< alignment-plot tiles emitted
+  std::atomic<std::uint64_t> plot_windows{0};    ///< plot cells answered
+  std::atomic<std::uint64_t> plot_reused_descents{0};  ///< descents the seam walk saved
 };
 
 /// Plain-value snapshot of QueryCounters for EngineStats.
@@ -66,6 +71,9 @@ struct QueryStats {
   std::uint64_t index_builds = 0;
   std::uint64_t compressed = 0;
   std::uint64_t blocks_decoded = 0;
+  std::uint64_t plot_tiles = 0;
+  std::uint64_t plot_windows = 0;
+  std::uint64_t plot_reused_descents = 0;
 };
 
 /// One window of a batched query: a query kind plus its two window
@@ -93,5 +101,33 @@ Index answer_query(const CachedKernel& entry, QueryKind kind, Index x, Index y,
 void answer_query_batch(const CachedKernel& entry, const WindowQuery* windows,
                         Index* out, std::size_t count, bool use_index,
                         QueryCounters* counters = nullptr);
+
+/// One streamed chunk of an alignment plot: a (rows x cols) sub-rectangle of
+/// the grid, origin (row0, col0) in *grid* coordinates, cells row-major
+/// little-endian (u16 raw scores for quant 16, u8 scaled to [0, 255] for
+/// quant 8). `last` marks the final frame of the plot's response stream.
+struct PlotTile {
+  Index row0 = 0;
+  Index col0 = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint8_t quant = 16;
+  bool last = false;
+  std::string cells;
+
+  friend bool operator==(const PlotTile&, const PlotTile&) = default;
+};
+
+/// Answers one plot row against a strip entry (kernel of (a-window, b),
+/// m == window): out[v] = LCS(strip, b[col0 + v*step, +window)) for v in
+/// [0, count). With `use_planner` (and an indexable entry, and a stride the
+/// heuristic likes) the whole row costs one anchoring wavelet descent plus a
+/// seam walk; otherwise every window lowers independently through
+/// answer_query_batch -- the ablation the bench gates against. Compressed
+/// entries are decoded/indexed on the planner path (a plot touches every
+/// block anyway). Bumps plot_windows / plot_reused_descents.
+void answer_plot_row(const CachedKernel& entry, Index col0, Index step, Index window,
+                     std::size_t count, Index* out, bool use_planner, bool use_index,
+                     QueryCounters* counters = nullptr);
 
 }  // namespace semilocal

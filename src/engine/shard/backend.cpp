@@ -162,6 +162,17 @@ bool send_frame(Env& env, BackendPool::Conn& conn, std::string_view payload,
 
 RecvStatus recv_first(Env& env, const std::vector<BackendPool::Conn*>& conns,
                       std::uint64_t deadline_ns, int& winner, std::string& payload) {
+  // Banked frames first: a streaming backend packs many tiles into one
+  // read(), and the surplus beyond the frame returned then sits in
+  // `pending`. Polling the socket instead would hang until the deadline --
+  // the bytes are already off the wire.
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    if (conns[i]->pending.empty()) continue;
+    payload = std::move(conns[i]->pending.front());
+    conns[i]->pending.pop_front();
+    winner = static_cast<int>(i);
+    return RecvStatus::kOk;
+  }
   std::vector<pollfd> fds(conns.size());
   char buf[1 << 16];
   while (true) {
@@ -189,14 +200,17 @@ RecvStatus recv_first(Env& env, const std::vector<BackendPool::Conn*>& conns,
         try {
           conn.decoder.feed(std::string_view(buf, static_cast<std::size_t>(r)),
                             [&](std::string_view p, bool /*spanned*/) {
-                              // One request outstanding per connection: the
-                              // first frame is the response; a second frame
-                              // would be a protocol violation and is dropped
-                              // with the connection (mid_frame check below
-                              // catches trailing garbage too).
+                              // First frame is this call's answer; later
+                              // frames from the same read are banked for the
+                              // next call. A one-shot caller that finds the
+                              // bank non-empty afterwards (Conn::dirty)
+                              // treats it as a protocol violation and
+                              // discards the connection.
                               if (!complete) {
                                 payload.assign(p);
                                 complete = true;
+                              } else {
+                                conn.pending.emplace_back(p);
                               }
                             });
         } catch (const ProtocolError&) {

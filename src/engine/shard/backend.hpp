@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +57,17 @@ class BackendPool {
     int fd = -1;
     std::string label;
     FrameDecoder decoder;
+    /// Complete frames decoded but not yet delivered. A streaming backend
+    /// packs many tiles into one read(); recv_first banks the surplus here
+    /// and serves it before touching the socket again. On the one-shot
+    /// exchange path a non-empty queue means an unsolicited extra frame --
+    /// dirty() flags the connection for discard.
+    std::deque<std::string> pending;
+
+    /// True when reuse would cross exchanges: a partial frame mid-decode or
+    /// a banked frame nobody consumed. Callers releasing a connection back
+    /// to the pool must discard it instead when this holds.
+    [[nodiscard]] bool dirty() const { return decoder.mid_frame() || !pending.empty(); }
 
     Conn(const Conn&) = delete;
     Conn& operator=(const Conn&) = delete;
@@ -115,6 +127,10 @@ enum class RecvStatus {
 /// read: one poll set, first full frame wins). On kOk, `winner` is the
 /// index whose exchange completed and `payload` holds its frame; on kError,
 /// `winner` is the failed index and that connection must be discarded.
+/// Frames already banked in a connection's `pending` queue are served before
+/// the sockets are polled, and any surplus complete frames arriving in one
+/// read are banked rather than dropped -- that is what lets a caller relay a
+/// multi-frame tile stream by calling recv_first in a loop.
 RecvStatus recv_first(Env& env, const std::vector<BackendPool::Conn*>& conns,
                       std::uint64_t deadline_ns, int& winner, std::string& payload);
 

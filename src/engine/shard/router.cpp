@@ -251,7 +251,7 @@ Response ShardRouter::forward(const Request& request) {
       }
       // A clean exchange: the connection goes back unless trailing bytes
       // arrived (a second frame nobody asked for poisons it).
-      if (won.conn->decoder.mid_frame()) {
+      if (won.conn->dirty()) {
         shard.pool->discard(std::move(won.conn));
       } else {
         shard.pool->release(std::move(won.conn));
@@ -301,6 +301,104 @@ Response ShardRouter::forward(const Request& request) {
   }
 }
 
+void ShardRouter::route_stream(const Request& request,
+                               const std::function<bool(Response&&)>& sink) {
+  if (request.op != Op::kAlignmentPlot) {
+    (void)sink(route(request));
+    return;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const PairKey key = make_pair_key(request.a, request.b);
+  std::vector<int> candidates;
+  ring()->replicas_for(key, std::max(1, options_.replicas), candidates);
+  std::stable_partition(candidates.begin(), candidates.end(), [&](int i) {
+    return shards_[static_cast<std::size_t>(i)]->healthy.load(std::memory_order_relaxed);
+  });
+  if (candidates.empty()) {
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    (void)sink(overloaded_response(options_.retry_after_ms, "ring is empty (all drained)"));
+    return;
+  }
+  const std::string payload = encode_request(request);
+  const std::uint64_t attempt_ns = options_.attempt_timeout_ms * 1'000'000;
+
+  for (std::size_t rank = 0; rank < candidates.size(); ++rank) {
+    const auto s = static_cast<std::size_t>(candidates[rank]);
+    Shard& shard = *shards_[s];
+    shard.requests.fetch_add(1, std::memory_order_relaxed);
+    BackendPool::ConnPtr conn =
+        shard.pool->acquire(env_->now_ns() + options_.connect_timeout_ms * 1'000'000);
+    if (!conn) {
+      shard.errors.fetch_add(1, std::memory_order_relaxed);
+      record_failure(shard);
+      continue;
+    }
+    if (!send_frame(*env_, *conn, payload, env_->now_ns() + attempt_ns)) {
+      shard.pool->discard(std::move(conn));
+      shard.errors.fetch_add(1, std::memory_order_relaxed);
+      record_failure(shard);
+      continue;
+    }
+    // Relay loop: one attempt budget per frame, so a long plot never runs
+    // out of overall time as long as each tile keeps arriving.
+    bool failed = false;
+    while (!failed) {
+      int winner = -1;
+      std::string frame;
+      const RecvStatus status = recv_first(*env_, {conn.get()},
+                                           env_->now_ns() + attempt_ns, winner, frame);
+      if (status != RecvStatus::kOk) {
+        failed = true;
+        break;
+      }
+      Response response;
+      try {
+        response = decode_response(frame);
+      } catch (const ProtocolError&) {
+        failed = true;
+        break;
+      }
+      if (response.status == Status::kOverloaded) {
+        // A backend shedding mid-plot is a failover, not an answer: the next
+        // replica gets the whole plot and the client's assembler dedups.
+        failed = true;
+        break;
+      }
+      response.shard = shard.config.id;
+      const bool terminal = terminal_response_frame(response);
+      if (!sink(std::move(response))) {
+        // Client cancelled: the backend may still be mid-stream on this
+        // connection, so it cannot be reused.
+        shard.pool->discard(std::move(conn));
+        record_success(shard);
+        shard.ok.fetch_add(1, std::memory_order_relaxed);
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (terminal) {
+        if (conn->dirty()) {
+          shard.pool->discard(std::move(conn));
+        } else {
+          shard.pool->release(std::move(conn));
+        }
+        record_success(shard);
+        shard.ok.fetch_add(1, std::memory_order_relaxed);
+        if (rank > 0) {
+          shard.failovers.fetch_add(1, std::memory_order_relaxed);
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    shard.pool->discard(std::move(conn));
+    shard.errors.fetch_add(1, std::memory_order_relaxed);
+    record_failure(shard);
+  }
+  unavailable_.fetch_add(1, std::memory_order_relaxed);
+  (void)sink(overloaded_response(options_.retry_after_ms, "no shard replica available"));
+}
+
 // ---------------------------------------------------------------------------
 // Health probing.
 
@@ -339,7 +437,7 @@ bool ShardRouter::probe_shard(std::size_t index) {
     shard.pool->discard(std::move(conn));
     return fail();
   }
-  if (conn->decoder.mid_frame()) {
+  if (conn->dirty()) {
     shard.pool->discard(std::move(conn));
   } else {
     shard.pool->release(std::move(conn));

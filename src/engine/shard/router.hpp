@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -116,6 +117,18 @@ class ShardRouter {
   /// budget times the candidate count). kPing/kStats/kHealth/kShardCtl are
   /// answered by the router itself; every other op forwards to a backend.
   Response route(const Request& request);
+
+  /// Streaming twin of route() for Op::kAlignmentPlot: relays each backend
+  /// tile frame through `sink` as it arrives (shard id stamped on every
+  /// frame). A mid-stream failure (timeout, garble, EOF, backend
+  /// RETRY_AFTER) discards the connection and re-sends the whole plot to the
+  /// next replica -- re-delivered tiles are deduplicated client-side by
+  /// PlotAssembler. Streams never hedge: two concurrent relays would
+  /// interleave. Always ends with a terminal frame unless `sink` returns
+  /// false (client gone), which cancels the relay. Non-plot ops degrade to
+  /// one route() frame.
+  void route_stream(const Request& request,
+                    const std::function<bool(Response&&)>& sink);
 
   /// One synchronous probe pass over every shard (the prober thread calls
   /// this; deterministic tests call it directly).

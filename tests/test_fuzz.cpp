@@ -310,6 +310,185 @@ TEST(Fuzz, StreamingDecoderRejectsHostileLengthsWithoutBuffering) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Alignment-plot wire fuzz: the request's plot block and the streamed tile
+// frames, under the same corpus shapes (truncation, bit flips, hostile
+// spliced dimensions, arbitrary stream splits).
+
+Request random_plot_request(Rng& rng) {
+  Request request;
+  request.op = Op::kAlignmentPlot;
+  request.a = uniform_sequence(rng.uniform(1, 48), 4, rng.engine()());
+  request.b = uniform_sequence(rng.uniform(1, 48), 4, rng.engine()());
+  PlotSpec spec;
+  spec.rows = rng.uniform(1, 64);
+  spec.cols = rng.uniform(1, 64);
+  // Mostly dense strides (the planner regime), sometimes absurd-but-legal
+  // ones right up to the cap.
+  spec.step = rng.bernoulli(0.2) ? rng.uniform(1, kMaxPlotStep) : rng.uniform(1, 16);
+  spec.window = rng.bernoulli(0.2) ? rng.uniform(1, kMaxPlotWindow) : rng.uniform(1, 64);
+  spec.row0 = rng.uniform(0, Index{1} << 20);
+  spec.col0 = rng.uniform(0, Index{1} << 20);
+  spec.quant = rng.bernoulli(0.5) ? 8 : 16;
+  request.plot = spec;
+  return request;
+}
+
+/// Decoding `payload` must either throw ProtocolError or produce a request
+/// that re-encodes canonically (decode-encode is a projection).
+void expect_rejected_or_canonical(const std::string& payload) {
+  Request decoded;
+  try {
+    decoded = decode_request(payload);
+  } catch (const ProtocolError&) {
+    return;
+  }
+  EXPECT_EQ(encode_request(decoded), payload);
+}
+
+TEST(Fuzz, PlotRequestsRoundTripAndDieCleanlyUnderMutation) {
+  Rng rng(0x9107);
+  for (int round = 0; round < 40; ++round) {
+    const Request request = random_plot_request(rng);
+    const std::string payload = encode_request(request);
+    // Canonical round-trip: decode then re-encode is byte-identical.
+    const Request decoded = decode_request(payload);
+    ASSERT_EQ(encode_request(decoded), payload) << "round " << round;
+    ASSERT_TRUE(decoded.plot.has_value());
+    EXPECT_EQ(decoded.plot->rows, request.plot->rows);
+    EXPECT_EQ(decoded.plot->cols, request.plot->cols);
+    EXPECT_EQ(decoded.plot->step, request.plot->step);
+    EXPECT_EQ(decoded.plot->window, request.plot->window);
+    EXPECT_EQ(decoded.plot->quant, request.plot->quant);
+
+    // Every truncation dies at decode or re-encodes to exactly itself; a
+    // short plot block must never be padded into a valid spec.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      expect_rejected_or_canonical(payload.substr(0, len));
+    }
+    // Random bit flips: a flipped sequence byte may still decode (and then
+    // must re-encode canonically); a flipped structural byte must throw.
+    for (int flip = 0; flip < 32; ++flip) {
+      const auto bit = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(payload.size()) * 8 - 1));
+      std::string mutated = payload;
+      mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1 << (bit % 8)));
+      expect_rejected_or_canonical(mutated);
+    }
+  }
+}
+
+TEST(Fuzz, PlotRequestsWithAbsurdSplicedDimensionsAllDieAtDecode) {
+  Rng rng(0x9207);
+  // u32 grid fields sit at the tail of the payload: row0,col0 (two i64),
+  // then rows, cols, step, window, then the quant byte -- 33 bytes total,
+  // so u32 field f starts 17 - 4*f bytes from the end.
+  const auto splice_u32 = [](std::string payload, int field, std::uint32_t value) {
+    const std::size_t off = payload.size() - 17 + static_cast<std::size_t>(field) * 4;
+    for (int i = 0; i < 4; ++i) {
+      payload[off + static_cast<std::size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    return payload;
+  };
+  for (int round = 0; round < 10; ++round) {
+    const std::string payload = encode_request(random_plot_request(rng));
+    // field 0 = rows, 1 = cols, 2 = step, 3 = window.
+    EXPECT_THROW((void)decode_request(splice_u32(payload, 0, 0)), ProtocolError);
+    EXPECT_THROW((void)decode_request(splice_u32(payload, 1, 0)), ProtocolError);
+    EXPECT_THROW((void)decode_request(splice_u32(payload, 2, 0)), ProtocolError);
+    EXPECT_THROW((void)decode_request(splice_u32(payload, 3, 0)), ProtocolError);
+    EXPECT_THROW((void)decode_request(
+                     splice_u32(payload, 2, static_cast<std::uint32_t>(kMaxPlotStep) + 1)),
+                 ProtocolError);
+    EXPECT_THROW((void)decode_request(
+                     splice_u32(payload, 3, static_cast<std::uint32_t>(kMaxPlotWindow) + 1)),
+                 ProtocolError);
+    EXPECT_THROW((void)decode_request(splice_u32(payload, 0, 0x7fffffffu)), ProtocolError);
+    // rows * cols over kMaxPlotCells with both factors individually legal.
+    EXPECT_THROW((void)decode_request(splice_u32(
+                     splice_u32(payload, 0, 1u << 13), 1, 1u << 13)),
+                 ProtocolError);
+    // The trailing quant byte accepts exactly 8 and 16.
+    std::string bad_quant = payload;
+    bad_quant.back() = 7;
+    EXPECT_THROW((void)decode_request(bad_quant), ProtocolError);
+  }
+}
+
+TEST(Fuzz, PlotTileStreamsAreSplitInvariantAndReassemble) {
+  Rng rng(0x7117);
+  for (int round = 0; round < 20; ++round) {
+    const Index rows = rng.uniform(1, 6);
+    const Index cols = rng.uniform(1, 6);
+    const std::uint8_t quant = rng.bernoulli(0.5) ? 8 : 16;
+    const std::size_t cell_bytes = quant == 16 ? 2 : 1;
+    // The reference grid the tiles carry, row-major random scores.
+    std::vector<Index> grid(static_cast<std::size_t>(rows * cols));
+    for (Index& v : grid) v = rng.uniform(0, quant == 16 ? 0xffff : 0xff);
+
+    // Chop the grid into bands of random height, each band into random
+    // column chunks -- the same tiling shapes the engine emits.
+    std::string stream;
+    std::vector<Response> sent;
+    for (Index r0 = 0; r0 < rows;) {
+      const Index band = std::min(rows - r0, rng.uniform(1, 3));
+      for (Index c0 = 0; c0 < cols;) {
+        const Index chunk = std::min(cols - c0, rng.uniform(1, 3));
+        Response response;
+        PlotTile tile;
+        tile.row0 = r0;
+        tile.col0 = c0;
+        tile.rows = static_cast<std::uint32_t>(band);
+        tile.cols = static_cast<std::uint32_t>(chunk);
+        tile.quant = quant;
+        tile.last = r0 + band == rows && c0 + chunk == cols;
+        for (Index r = 0; r < band; ++r) {
+          for (Index c = 0; c < chunk; ++c) {
+            const Index v = grid[static_cast<std::size_t>((r0 + r) * cols + c0 + c)];
+            tile.cells.push_back(static_cast<char>(v & 0xff));
+            if (cell_bytes == 2) tile.cells.push_back(static_cast<char>(v >> 8));
+          }
+        }
+        response.tile = std::move(tile);
+        sent.push_back(response);
+        stream += frame_payload(encode_response(response));
+        c0 += chunk;
+      }
+      r0 += band;
+    }
+
+    // Split invariance of the framed stream at every byte boundary, and the
+    // payloads decode to canonical, reassemblable tile frames.
+    const StreamOutcome whole = run_decoder(stream, {});
+    ASSERT_FALSE(whole.error);
+    ASSERT_EQ(whole.payloads.size(), sent.size());
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+      const StreamOutcome split = run_decoder(stream, {cut});
+      ASSERT_EQ(split == whole, true) << "round " << round << " cut " << cut;
+    }
+    std::vector<std::size_t> every_byte(stream.size());
+    std::iota(every_byte.begin(), every_byte.end(), std::size_t{1});
+    ASSERT_EQ(run_decoder(stream, every_byte) == whole, true) << "round " << round;
+
+    PlotAssembler assembler(rows, cols, quant);
+    for (std::size_t f = 0; f < whole.payloads.size(); ++f) {
+      const Response decoded = decode_response(whole.payloads[f]);
+      ASSERT_EQ(encode_response(decoded), whole.payloads[f]);
+      ASSERT_TRUE(decoded.tile.has_value());
+      EXPECT_EQ(*decoded.tile, *sent[f].tile);
+      EXPECT_EQ(terminal_response_frame(decoded), f + 1 == whole.payloads.size());
+      assembler.feed(decoded);
+    }
+    ASSERT_TRUE(assembler.complete());
+    for (Index u = 0; u < rows; ++u) {
+      for (Index v = 0; v < cols; ++v) {
+        EXPECT_EQ(assembler.cell(u, v), grid[static_cast<std::size_t>(u * cols + v)]);
+      }
+    }
+  }
+}
+
 TEST(Fuzz, EditDistanceReductionOnRandomShapes) {
   Rng rng(808);
   for (int round = 0; round < 20; ++round) {

@@ -37,6 +37,14 @@
 //       maintenance (weight -> 0; in-flight exchanges finish), restore it,
 //       or rebalance by editing its ring weight. Every mutation bumps the
 //       ring generation and echoes the router's stats document.
+//   plot <a.fasta> <b.fasta> --port P [--host H] [--rows R] [--cols C]
+//        [--step S] [--window W] [--quant 8|16] [--format pgm|csv] [--out PATH]
+//       Alignment dot-plot over the wire: one Op::kAlignmentPlot request to a
+//       running semilocal_serve or semilocal_router; the streamed tile frames
+//       are reassembled client-side (duplicates from router failover are
+//       deduplicated) and written as a binary PGM heatmap or a CSV of raw
+//       window LCS scores. --step 0 (the default) picks the largest stride
+//       whose grid still fits both sequences.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -84,7 +92,10 @@ int usage() {
       "  store stat <dir>        (per-format counts, bytes, compression ratio)\n"
       "  shardctl <host:port|port> status\n"
       "  shardctl <host:port|port> drain|undrain <shard>\n"
-      "  shardctl <host:port|port> weight <shard> <w>\n";
+      "  shardctl <host:port|port> weight <shard> <w>\n"
+      "  plot <a.fasta> <b.fasta> --port P [--host H] [--rows R] [--cols C]\n"
+      "       [--step S] [--window W] [--quant 8|16] [--format pgm|csv]\n"
+      "       [--out PATH]    (streamed dot-plot from a running server)\n";
   return 2;
 }
 
@@ -378,6 +389,26 @@ int cmd_store_stat(const std::string& dir) {
   return 0;
 }
 
+/// Connects a TCP socket to host:port; throws with `who` in the message on
+/// failure. Caller owns the fd (wrap it in tools::FdStream).
+int dial(const std::string& who, const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(who + ": socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error(who + ": bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error(who + ": cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+  return fd;
+}
+
 /// `shardctl <host:port|port> <verb> [shard] [weight]`: one kShardCtl frame
 /// to a running router, echoing its stats document. Exit 0 on kOk.
 int cmd_shardctl(const CliArgs& args) {
@@ -411,20 +442,7 @@ int cmd_shardctl(const CliArgs& args) {
     return usage();
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("shardctl: socket failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("shardctl: bad host " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    throw std::runtime_error("shardctl: cannot connect to " + host + ":" + port_text);
-  }
-  tools::FdStream stream(fd);
+  tools::FdStream stream(dial("shardctl", host, port));
   write_frame(stream.out, encode_request(request));
   const auto payload = read_frame(stream.in);
   if (!payload) throw std::runtime_error("shardctl: router closed the connection");
@@ -434,6 +452,119 @@ int cmd_shardctl(const CliArgs& args) {
     return 1;
   }
   std::cout << response.text << "\n";
+  return 0;
+}
+
+/// `plot <a.fasta> <b.fasta> --port P`: one streamed Op::kAlignmentPlot
+/// exchange against a running semilocal_serve or semilocal_router. Tile
+/// frames are drained until the terminal frame and reassembled client-side;
+/// the PlotAssembler's per-cell dedup makes router failover re-sends
+/// harmless. Output: binary PGM (quant-8 heatmap) or CSV of raw scores.
+int cmd_plot(const CliArgs& args) {
+  if (args.positional().size() != 2) return usage();
+  const auto port_text = args.option("port");
+  if (!port_text) throw std::invalid_argument("plot needs --port P");
+  const std::string host = args.option_or("host", "127.0.0.1");
+  const std::string format = args.option_or("format", "pgm");
+  if (format != "pgm" && format != "csv") {
+    throw std::invalid_argument("--format must be pgm or csv");
+  }
+
+  std::string id_a;
+  std::string id_b;
+  Request request;
+  request.op = Op::kAlignmentPlot;
+  request.a = first_record(args.positional()[0], id_a);
+  request.b = first_record(args.positional()[1], id_b);
+  const auto m = static_cast<Index>(request.a.size());
+  const auto n = static_cast<Index>(request.b.size());
+
+  PlotSpec spec;
+  spec.rows = args.int_option_or("rows", 64);
+  spec.cols = args.int_option_or("cols", 64);
+  spec.row0 = args.int_option_or("row0", 0);
+  spec.col0 = args.int_option_or("col0", 0);
+  spec.window = args.int_option_or("window", std::min<Index>(64, std::min(m, n)));
+  // PGM pixels are bytes anyway, so default to the quant-8 wire encoding
+  // there (4x smaller tiles at window 2000); CSV reports raw u16 scores.
+  spec.quant = static_cast<std::uint8_t>(
+      args.int_option_or("quant", format == "pgm" ? 8 : 16));
+  if (spec.row0 + spec.window > m || spec.col0 + spec.window > n) {
+    throw std::invalid_argument("window does not fit the sequences at the origin");
+  }
+  spec.step = args.int_option_or("step", 0);
+  if (spec.step < 1) {
+    // Largest stride whose grid still fits both sequences end to end.
+    const Index fit_r =
+        spec.rows > 1 ? (m - spec.window - spec.row0) / (spec.rows - 1) : 1;
+    const Index fit_c =
+        spec.cols > 1 ? (n - spec.window - spec.col0) / (spec.cols - 1) : 1;
+    spec.step = std::max<Index>(1, std::min(fit_r, fit_c));
+  }
+  // A requested grid that overhangs the pair would be rejected server-side;
+  // shrink it to what fits instead and report the final geometry.
+  spec.rows = std::min(spec.rows, (m - spec.window - spec.row0) / spec.step + 1);
+  spec.cols = std::min(spec.cols, (n - spec.window - spec.col0) / spec.step + 1);
+  request.plot = spec;
+
+  std::cerr << id_a << " (" << m << " bp) vs " << id_b << " (" << n << " bp): "
+            << spec.rows << "x" << spec.cols << " grid, window " << spec.window
+            << ", step " << spec.step << ", quant " << int(spec.quant) << "\n";
+
+  Timer t;
+  tools::FdStream stream(dial("plot", host, std::stoi(*port_text)));
+  write_frame(stream.out, encode_request(request));
+  PlotAssembler assembler(spec.rows, spec.cols, spec.quant);
+  std::uint64_t frames = 0;
+  while (true) {
+    const auto payload = read_frame(stream.in);
+    if (!payload) throw std::runtime_error("plot: server closed mid-stream");
+    const Response response = decode_response(*payload);
+    if (response.status != Status::kOk) {
+      throw std::runtime_error("plot: server said: " + response.text);
+    }
+    ++frames;
+    assembler.feed(response);
+    if (terminal_response_frame(response)) break;
+  }
+  if (!assembler.complete()) {
+    throw std::runtime_error("plot: stream ended with " +
+                             std::to_string(assembler.filled()) + "/" +
+                             std::to_string(spec.cells()) + " cells filled");
+  }
+  std::cerr << spec.cells() << " cells in " << frames << " tile frames ("
+            << assembler.duplicate_cells() << " duplicate cells) in "
+            << t.seconds() << " s\n";
+
+  const std::string out_path =
+      args.option_or("out", format == "pgm" ? "plot.pgm" : "-");
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot open " + out_path);
+  }
+  std::ostream& out = out_path == "-" ? std::cout : file;
+  if (format == "pgm") {
+    out << "P5\n" << spec.cols << " " << spec.rows << "\n255\n";
+    for (Index u = 0; u < spec.rows; ++u) {
+      for (Index v = 0; v < spec.cols; ++v) {
+        Index value = assembler.cell(u, v);
+        if (spec.quant == 16) value = (value * 255 + spec.window / 2) / spec.window;
+        out.put(static_cast<char>(static_cast<unsigned char>(value)));
+      }
+    }
+  } else {
+    for (Index u = 0; u < spec.rows; ++u) {
+      for (Index v = 0; v < spec.cols; ++v) {
+        if (v > 0) out << ',';
+        out << assembler.cell(u, v);
+      }
+      out << '\n';
+    }
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("plot: short write to " + out_path);
+  if (out_path != "-") std::cerr << format << " written to " << out_path << "\n";
   return 0;
 }
 
@@ -464,6 +595,7 @@ int main(int argc, char** argv) {
     if (command == "braid") return cmd_braid(args);
     if (command == "store") return cmd_store(args);
     if (command == "shardctl") return cmd_shardctl(args);
+    if (command == "plot") return cmd_plot(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "semilocal_cli: " << e.what() << "\n";

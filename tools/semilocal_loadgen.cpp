@@ -16,6 +16,12 @@
 // substring-string) over one pair, the window-sweep regime that the shared
 // QueryIndex accelerates.
 //
+// --plot-fraction F turns F of the requests into streamed kAlignmentPlot ops
+// (an 8x8 grid over the sampled pair, tiles drained to the terminal frame).
+// Open-loop runs tag every request with an op class ("query" / "batch" /
+// "plot") and report per-class latency buckets in --json, so the plot tail
+// is visible separately from the point-query tail.
+//
 // Open-loop mode (the overload-measurement regime; see engine/open_loop.hpp):
 //
 //   semilocal_loadgen --port P --arrival-rate R --connections C
@@ -63,7 +69,7 @@ namespace {
 int usage() {
   std::cerr << "usage: semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]\n"
                "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n"
-               "                         [--queries-per-pair Q]\n"
+               "                         [--queries-per-pair Q] [--plot-fraction F]\n"
                "       semilocal_loadgen --port P --arrival-rate R --connections C\n"
                "                         [--duration-ms D] [--drain-ms D] [--json]\n"
                "       either mode also accepts --verify (client-side answer oracle)\n";
@@ -101,6 +107,9 @@ struct Workload {
   /// --verify: kernels[i] answers pool[i] client-side (empty otherwise).
   std::vector<SemiLocalKernel> kernels;
   double substring_frac = 0.0;
+  /// Fraction of requests that become streamed kAlignmentPlot ops (an 8x8
+  /// grid over the sampled pair) -- the mixed plot/query serving regime.
+  double plot_frac = 0.0;
   bool zipf = false;
   Index queries_per_pair = 1;  // > 1 => batched kBatchQuery frames
 };
@@ -155,6 +164,21 @@ Request pick_request(const Workload& workload, Rng& rng,
   request.b = b;
   const auto m = static_cast<Index>(a.size());
   const auto n = static_cast<Index>(b.size());
+  if (workload.plot_frac > 0 && rng.uniform01() < workload.plot_frac) {
+    PlotSpec spec;
+    spec.rows = 8;
+    spec.cols = 8;
+    spec.window = std::max<Index>(1, std::min<Index>(64, std::min(m, n) / 4));
+    const Index max_step = std::min((m - spec.window) / (spec.rows - 1),
+                                    (n - spec.window) / (spec.cols - 1));
+    if (max_step >= 1) {  // pair too short for a grid => plain query below
+      spec.step = std::max<Index>(1, max_step / 2);
+      spec.quant = 16;
+      request.op = Op::kAlignmentPlot;
+      request.plot = spec;
+      return request;
+    }
+  }
   if (workload.queries_per_pair > 1) {
     request.op = Op::kBatchQuery;
     request.windows.reserve(static_cast<std::size_t>(workload.queries_per_pair));
@@ -203,7 +227,14 @@ ClientTotals run_client(int port, const Workload& workload, int requests,
       write_frame(stream.out, encoded);
       const auto payload = read_frame(stream.in);
       if (!payload) throw std::runtime_error("server closed connection");
-      const Response response = decode_response(*payload);
+      Response response = decode_response(*payload);
+      // Streamed ops (plots): drain tile frames until the terminal one; the
+      // closed loop measures whole-stream latency.
+      while (!terminal_response_frame(response)) {
+        const auto next = read_frame(stream.in);
+        if (!next) throw std::runtime_error("server closed mid-stream");
+        response = decode_response(*next);
+      }
       if (response.status == Status::kOverloaded) {
         ++totals.retries;
         std::this_thread::sleep_for(
@@ -250,6 +281,10 @@ int main(int argc, char** argv) {
 
     Workload workload;
     workload.substring_frac = args.double_option_or("substring-frac", 0.25);
+    workload.plot_frac = args.double_option_or("plot-fraction", 0.0);
+    if (workload.plot_frac < 0.0 || workload.plot_frac > 1.0) {
+      throw std::invalid_argument("--plot-fraction out of range [0, 1]");
+    }
     workload.zipf = args.has_flag("zipf");
     workload.queries_per_pair = args.int_option_or("queries-per-pair", 1);
     if (workload.queries_per_pair < 1 ||
@@ -278,15 +313,20 @@ int main(int argc, char** argv) {
       // next_payload / next_expected run back-to-back per send, so the
       // captured expectation always describes the request just encoded.
       Index pending_expected = -1;
-      open.next_payload = [&workload, &payload_rng, &pending_expected] {
+      std::string pending_op;
+      open.next_payload = [&workload, &payload_rng, &pending_expected, &pending_op] {
         std::size_t pool_index = 0;
         const Request request = pick_request(workload, payload_rng, &pool_index);
         pending_expected = expected_value(workload, pool_index, request);
+        pending_op = request.op == Op::kAlignmentPlot ? "plot"
+                     : request.op == Op::kBatchQuery ? "batch"
+                                                     : "query";
         return encode_request(request);
       };
       if (!workload.kernels.empty()) {
         open.next_expected = [&pending_expected] { return pending_expected; };
       }
+      open.next_op_class = [&pending_op] { return pending_op; };
       const OpenLoopResult open_result = run_open_loop(open);
       if (args.has_flag("json")) {
         std::cout << to_json(open_result) << "\n";
@@ -307,6 +347,10 @@ int main(int argc, char** argv) {
           std::cout << "shard " << per.shard << ": " << per.received
                     << " responses, p50 " << per.p50_ms << " ms, p99 " << per.p99_ms
                     << " ms\n";
+        }
+        for (const OpenLoopOpResult& per : open_result.per_op) {
+          std::cout << "op " << per.op << ": " << per.received << " responses, p50 "
+                    << per.p50_ms << " ms, p99 " << per.p99_ms << " ms\n";
         }
       }
       return (open_result.stalled == 0 && open_result.decode_errors == 0 &&

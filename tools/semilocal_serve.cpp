@@ -139,6 +139,12 @@ Response handle(ComparisonEngine& engine, const ServeConfig& config,
         response.status = Status::kError;
         response.text = "shardctl: not a router";
         break;
+      case Op::kAlignmentPlot:
+        // Streamed by the caller (serve_session / the frontends), never a
+        // single response.
+        response.status = Status::kError;
+        response.text = "plot: not answerable as a single frame";
+        break;
     }
   } catch (const EngineOverloaded& e) {
     response.status = Status::kOverloaded;
@@ -172,7 +178,35 @@ void serve_session(ComparisonEngine& engine, const ServeConfig& config, std::ist
     if (!payload) return;  // clean EOF
     Response response;
     try {
-      response = handle(engine, config, decode_request(*payload));
+      const Request request = decode_request(*payload);
+      if (request.op == Op::kAlignmentPlot) {
+        // Tiles stream as they compute; the blocking write is the
+        // backpressure. A failed spec or overload becomes the terminal frame.
+        try {
+          if (!request.plot) throw std::out_of_range("plot request without a plot spec");
+          const Sequence a = ingest(config, request.a);
+          const Sequence b = ingest(config, request.b);
+          engine.alignment_plot(
+              a, b, *request.plot,
+              [&](PlotTile&& tile) {
+                Response frame;
+                frame.tile = std::move(tile);
+                write_frame(out, encode_response(frame));
+                return true;
+              },
+              config.inline_compute);
+          continue;
+        } catch (const EngineOverloaded& e) {
+          response.status = Status::kOverloaded;
+          response.retry_ms = e.retry_after_ms();
+          response.text = e.what();
+        } catch (const std::exception& e) {
+          response.status = Status::kError;
+          response.text = e.what();
+        }
+      } else {
+        response = handle(engine, config, request);
+      }
     } catch (const ProtocolError& e) {
       response = Response{};
       response.status = Status::kError;
