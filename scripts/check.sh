@@ -41,6 +41,16 @@
 # >= 3x warm windows/s, with zero oracle mismatches and zero scan fallbacks
 # (a fallback means the planner silently declined a grid it claims to own).
 #
+# The incremental label slice is re-run under ASan as well: the corpus
+# upsert path recombines cached chunk braids through the steady-ant arena
+# and rolls back partially-published generations on injected faults --
+# lifetime bugs in either direction are exactly ASan's beat. The bench gate
+# then enforces the upsert_sweep contract: an append upsert at the gated
+# document length (32000, where the O(mn) recompute dominates the compose
+# floor; the 8000 crossover point is reported ungated) must be >= 5x
+# cheaper than the full-recombination ablation, with zero oracle mismatches
+# across every leg's final published kernel.
+#
 # The serve gate then stands up the real semilocal_serve reactor and fires
 # the open-loop loadgen at it: 10000 concurrent sockets at 5000 req/s, which
 # must finish with zero stalled sockets (loadgen exits nonzero otherwise),
@@ -105,6 +115,13 @@ if ! ctest --preset asan -N -L 'plot' | grep -q 'Total Tests: [1-9]'; then
 fi
 ctest --preset asan -j "$jobs" -L 'plot'
 
+echo "==> incremental slice under ASan"
+if ! ctest --preset asan -N -L 'incremental' | grep -q 'Total Tests: [1-9]'; then
+  echo "error: no tests carry the incremental label" >&2
+  exit 1
+fi
+ctest --preset asan -j "$jobs" -L 'incremental'
+
 echo "==> bench gate: mmap happy path + frontend sweep (scaled bench_engine)"
 cmake --build --preset release -j "$jobs" --target bench_engine >/dev/null
 # Run from the build dir so the committed results/ JSON is not clobbered.
@@ -158,6 +175,20 @@ plot_speedup=$(grep -o '"plot_speedup": *[0-9.]*' build/release/results/bench_en
                | head -n1 | grep -o '[0-9.]*$')
 if ! awk -v s="${plot_speedup:-0}" 'BEGIN { exit !(s >= 3) }'; then
   echo "error: plot_sweep plot_speedup=${plot_speedup:-unset} < 3" >&2
+  exit 1
+fi
+# The incremental-corpus claim, enforced: every leg's final published kernel
+# oracle-exact, and an append upsert at the gated document length >= 5x
+# cheaper than recombing the whole pair from scratch.
+if grep -Eq '"upsert_mismatches": *[1-9]' build/release/results/bench_engine.json; then
+  echo "error: upsert_sweep published a kernel that disagreed with a fresh compute" >&2
+  grep -o '"upsert_mismatches": *[0-9]*' build/release/results/bench_engine.json >&2
+  exit 1
+fi
+upsert_speedup=$(grep -o '"upsert_speedup": *[0-9.]*' build/release/results/bench_engine.json \
+                 | head -n1 | grep -o '[0-9.]*$')
+if ! awk -v s="${upsert_speedup:-0}" 'BEGIN { exit !(s >= 5) }'; then
+  echo "error: upsert_sweep upsert_speedup=${upsert_speedup:-unset} < 5" >&2
   exit 1
 fi
 

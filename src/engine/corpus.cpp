@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace semilocal {
 
@@ -62,23 +64,58 @@ CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
   return report;
 }
 
-void write_corpus_index(const std::string& path,
-                        const std::vector<CorpusIndexEntry>& entries, Env* env) {
-  if (env == nullptr) env = &real_env();
-  std::string out = "#id_a\tid_b\tm\tn\tkey\n";
+namespace {
+
+std::string serialize_corpus_index(const std::vector<CorpusIndexEntry>& entries,
+                                   std::uint64_t generation,
+                                   const std::string& extra_header = {}) {
+  std::string out = "#generation\t" + std::to_string(generation) + '\n';
+  out += extra_header;
+  out += "#id_a\tid_b\tm\tn\tkey\tver_a\tver_b\n";
   for (const CorpusIndexEntry& e : entries) {
     out += e.id_a + '\t' + e.id_b + '\t' + std::to_string(e.m) + '\t' +
-           std::to_string(e.n) + '\t' + e.key_hex + '\n';
+           std::to_string(e.n) + '\t' + e.key_hex + '\t' +
+           std::to_string(e.ver_a) + '\t' + std::to_string(e.ver_b) + '\n';
   }
+  return out;
+}
+
+}  // namespace
+
+void write_corpus_index(const std::string& path,
+                        const std::vector<CorpusIndexEntry>& entries, Env* env,
+                        std::uint64_t generation) {
+  if (env == nullptr) env = &real_env();
   try {
-    env->write_file(path, out);
+    env->write_file(path, serialize_corpus_index(entries, generation));
   } catch (const EnvError& e) {
     throw std::runtime_error(std::string("write_corpus_index: ") + e.what());
   }
 }
 
-std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path, Env* env) {
+void publish_corpus_index(const std::string& path,
+                          const std::vector<CorpusIndexEntry>& entries,
+                          std::uint64_t generation, Env* env,
+                          const std::string& extra_header) {
   if (env == nullptr) env = &real_env();
+  const std::string tmp = path + ".tmp";
+  try {
+    env->write_file(tmp, serialize_corpus_index(entries, generation, extra_header));
+    env->rename_file(tmp, path);
+  } catch (const EnvError& e) {
+    // The torn temp file (if any) must not shadow a later publish attempt.
+    try {
+      env->remove_file(tmp);
+    } catch (const EnvError&) {
+    }
+    throw std::runtime_error(std::string("publish_corpus_index: ") + e.what());
+  }
+}
+
+std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path, Env* env,
+                                                std::uint64_t* generation) {
+  if (env == nullptr) env = &real_env();
+  if (generation != nullptr) *generation = 0;
   std::string data;
   try {
     data = env->read_file(path);
@@ -89,11 +126,23 @@ std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path, Env* en
   std::istringstream in(data);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      constexpr std::string_view kGenTag = "#generation\t";
+      if (generation != nullptr && line.rfind(kGenTag, 0) == 0) {
+        *generation = std::stoull(line.substr(kGenTag.size()));
+      }
+      continue;
+    }
     std::istringstream fields(line);
     CorpusIndexEntry entry;
     if (!(fields >> entry.id_a >> entry.id_b >> entry.m >> entry.n >> entry.key_hex)) {
       throw std::runtime_error("read_corpus_index: malformed line: " + line);
+    }
+    // Version columns are absent in pre-versioning indexes; default to 0.
+    if (!(fields >> entry.ver_a >> entry.ver_b)) {
+      entry.ver_a = 0;
+      entry.ver_b = 0;
     }
     out.push_back(std::move(entry));
   }

@@ -26,6 +26,10 @@ struct CorpusIndexEntry {
   Index m = 0;
   Index n = 0;
   std::string key_hex;
+  /// Document versions behind this pair kernel (0 for unversioned corpora
+  /// written by plain precompute; bumped per upsert by CorpusManager).
+  Index ver_a = 0;
+  Index ver_b = 0;
 };
 
 struct CorpusBuildReport {
@@ -47,13 +51,27 @@ CorpusBuildReport precompute_corpus(const std::vector<FastaRecord>& records,
                                     KernelStore& store, const SemiLocalOptions& opts,
                                     bool parallel);
 
-/// Writes / reads the tab-separated index (id_a, id_b, m, n, key). All I/O
-/// goes through `env` (nullptr = real_env()), so fault-injection runs cover
-/// the index file exactly like the kernel files.
+/// Writes / reads the tab-separated index (id_a, id_b, m, n, key, ver_a,
+/// ver_b) plus a `#generation` header line. All I/O goes through `env`
+/// (nullptr = real_env()), so fault-injection runs cover the index file
+/// exactly like the kernel files. Readers accept both the old five-column
+/// format (versions default to 0, generation to 0) and the versioned one.
 void write_corpus_index(const std::string& path,
                         const std::vector<CorpusIndexEntry>& entries,
-                        Env* env = nullptr);
+                        Env* env = nullptr, std::uint64_t generation = 0);
 std::vector<CorpusIndexEntry> read_corpus_index(const std::string& path,
-                                                Env* env = nullptr);
+                                                Env* env = nullptr,
+                                                std::uint64_t* generation = nullptr);
+
+/// Atomic index publish: the serialized index lands at `path + ".tmp"` first
+/// and is renamed into place, so a crash mid-publish leaves the previous
+/// index intact -- readers see the old generation or the new one, whole,
+/// never a blend. This is the commit point of a versioned upsert.
+/// `extra_header` (optional, must be '#'-prefixed lines) is embedded after
+/// the generation line; CorpusManager uses it for the `#doc` manifest.
+void publish_corpus_index(const std::string& path,
+                          const std::vector<CorpusIndexEntry>& entries,
+                          std::uint64_t generation, Env* env = nullptr,
+                          const std::string& extra_header = {});
 
 }  // namespace semilocal

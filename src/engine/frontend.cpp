@@ -1,5 +1,6 @@
 #include "engine/frontend.hpp"
 
+#include "engine/corpus_version.hpp"
 #include "engine/env.hpp"
 #include "util/fasta.hpp"
 
@@ -568,12 +569,17 @@ struct FrontendServer::Impl {
                                               "per-connection in-flight limit"));
       return;
     }
-    request.a = ingest(options.dna, std::move(request.a));
+    if (request.op != Op::kUpsert) {
+      // kUpsert's `a` carries the document id, never sequence data.
+      request.a = ingest(options.dna, std::move(request.a));
+    }
     request.b = ingest(options.dna, std::move(request.b));
-    if (request.op == Op::kAlignmentPlot) {
+    if (request.op == Op::kAlignmentPlot || request.op == Op::kUpsert) {
       // Plots always stream from a pump, never inline: even a fully warm
       // plot emits megabytes of tiles, and the pump's gate paces that
-      // against this loop's write queue one tile at a time.
+      // against this loop's write queue one tile at a time. Upserts comb
+      // dirty chunks and compose braids -- milliseconds of compute that
+      // must not block the event loop either.
       const std::uint64_t seq = conn.next_seq++;
       conn.pending.push_back(Pending{seq, false, {}});
       ++conn.inflight;
@@ -707,6 +713,31 @@ struct FrontendServer::Impl {
       }
       if (ticket.request.op == Op::kAlignmentPlot) {
         stream_ticket(ticket);
+        continue;
+      }
+      if (ticket.request.op == Op::kUpsert && !options.handler) {
+        // Upserts comb dirty chunks through the scheduler and publish a new
+        // corpus generation; scheduler backpressure surfaces as the same
+        // typed RETRY_AFTER a cold query would get.
+        Response response;
+        try {
+          if (options.corpus == nullptr) {
+            response = error_response("upsert: no corpus attached");
+          } else {
+            const UpsertReport report = options.corpus->upsert_document(
+                to_string(ticket.request.a), std::move(ticket.request.b));
+            response.value = report.version;
+            response.text = report.json();
+          }
+        } catch (const EngineOverloaded& e) {
+          response = overloaded_response(e.retry_after_ms(), e.what());
+          counters.retry_after.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          response = error_response(e.what());
+        }
+        counters.pump_answers.fetch_add(1, std::memory_order_relaxed);
+        post_completion(ticket, frame_payload(encode_response(response)),
+                        /*done=*/true, nullptr);
         continue;
       }
       Response response;
@@ -1074,6 +1105,18 @@ struct ThreadedFrontend::Impl {
         case Op::kShardCtl:
           response = error_response("shardctl: not a router");
           break;
+        case Op::kUpsert: {
+          // `a` carries the document id, never sequence data: no dna pack.
+          if (options.corpus == nullptr) {
+            response = error_response("upsert: no corpus attached");
+          } else {
+            const UpsertReport report = options.corpus->upsert_document(
+                to_string(request.a), ingest(options.dna, request.b));
+            response.value = report.version;
+            response.text = report.json();
+          }
+          break;
+        }
         default: {
           const Sequence a = ingest(options.dna, request.a);
           const Sequence b = ingest(options.dna, request.b);

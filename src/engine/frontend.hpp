@@ -47,6 +47,8 @@
 
 namespace semilocal {
 
+class CorpusManager;
+
 struct FrontendOptions {
   /// TCP port to bind on 127.0.0.1; 0 picks a free port (see port()).
   int port = 0;
@@ -84,6 +86,12 @@ struct FrontendOptions {
   bool drain_inline = false;
   /// Clock + socket-I/O seam. nullptr = real_env().
   Env* env = nullptr;
+  /// Versioned corpus behind Op::kUpsert. nullptr = upserts answer kError
+  /// ("no corpus attached"). Upserts always ride a pump ticket (they comb
+  /// dirty chunks), so the per-connection in-flight budget and scheduler
+  /// backpressure cover them like cold queries. Engine mode only; handler
+  /// mode routes kUpsert to the handler like any other op.
+  CorpusManager* corpus = nullptr;
   /// Handler mode: when set, the reactor serves this callable instead of an
   /// engine -- every decoded request rides a pump ticket and is answered by
   /// handler(request) (which may block on downstream I/O; that is what the

@@ -163,6 +163,7 @@ Request decode_request(std::string_view payload) {
     case Op::kHealth:
     case Op::kShardCtl:
     case Op::kAlignmentPlot:
+    case Op::kUpsert:
       request.op = static_cast<Op>(op);
       break;
     default:

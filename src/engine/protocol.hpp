@@ -61,6 +61,9 @@ enum class Op : std::uint8_t {
   kHealth = 6,           ///< identity probe; text = {"pid", "uptime_ms", ...}
   kShardCtl = 7,         ///< router admin (x = command, y = shard, a = arg)
   kAlignmentPlot = 8,    ///< grid of window LCS scores; streamed tile frames
+  kUpsert = 9,           ///< versioned corpus upsert (a = document id bytes,
+                         ///< b = document bytes); value = new version,
+                         ///< text = upsert report JSON
 };
 
 /// kShardCtl command codes, carried in Request::x. The shard id travels in

@@ -146,7 +146,11 @@ Response ShardRouter::router_health() const {
 
 Response ShardRouter::forward(const Request& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const PairKey key = make_pair_key(request.a, request.b);
+  // Upserts hash on the document id alone so every version of a document --
+  // whatever its bytes -- lands on one shard's corpus; pair queries keep the
+  // full-content key.
+  const PairKey key = request.op == Op::kUpsert ? make_pair_key(request.a, {})
+                                                : make_pair_key(request.a, request.b);
   std::vector<int> candidates;
   ring()->replicas_for(key, std::max(1, options_.replicas), candidates);
   // Benched shards go to the back of the preference list, ring order
@@ -219,7 +223,12 @@ Response ShardRouter::forward(const Request& request) {
 
   if (!launch(/*hedged=*/false)) return exhausted();
   std::uint64_t attempt_deadline = env_->now_ns() + attempt_ns;
-  bool hedge_armed = options_.hedge_after_ms > 0 && candidates.size() > 1;
+  // Never hedge an upsert: a raced duplicate is harmless only because the
+  // corpus treats same-bytes re-sends as idempotent no-ops, but two live
+  // replicas bumping generations concurrently would double the write work
+  // for zero latency win. Sequential failover below still applies.
+  bool hedge_armed = options_.hedge_after_ms > 0 && candidates.size() > 1 &&
+                     request.op != Op::kUpsert;
   const std::uint64_t hedge_deadline =
       env_->now_ns() + options_.hedge_after_ms * 1'000'000;
 

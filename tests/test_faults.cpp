@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "core/api.hpp"
 #include "core/serialize.hpp"
 #include "engine/corpus.hpp"
+#include "engine/corpus_version.hpp"
 #include "engine/engine.hpp"
 #include "engine/env.hpp"
 #include "engine/protocol.hpp"
@@ -611,6 +613,182 @@ TEST(FaultSchedules, HundredsOfSeededSchedulesStayOracleExact) {
   }
   // The schedules must actually bite: across the whole run, faults fired.
   EXPECT_GT(total_faults, seeds) << "fault plans barely injected anything";
+}
+
+// ---------------------------------------------------------------------------
+// Versioned upsert crash consistency: upsert -> crash -> restart -> query
+// cycles under hostile write/rename/remove schedules. The invariant is
+// all-or-nothing per generation -- after any failed commit, and after any
+// restart, the corpus (in memory and on disk) serves exactly the last
+// committed generation: old answers or new answers, never a blend.
+
+FaultPlan upsert_fault_plan(std::uint64_t seed) {
+  Rng rng(seed * 0xc2b2ae3d27d4eb4fULL + 5);
+  FaultPlan plan;
+  plan.seed = seed;
+  const int nrules = static_cast<int>(rng.uniform(1, 3));
+  for (int r = 0; r < nrules; ++r) {
+    FaultRule rule;
+    // Only mutation ops: the publish protocol is what is under test, and a
+    // read-clean plan keeps the restart loads (and thus the traces of the
+    // two replay runs) byte-identical.
+    constexpr EnvOp kOps[] = {EnvOp::kWrite, EnvOp::kRename, EnvOp::kRemove};
+    rule.op = kOps[rng.uniform(0, 2)];
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        rule.path_substring = "";
+        break;
+      case 1:
+        rule.path_substring = "index.tsv";  // the commit point itself
+        break;
+      case 2:
+        rule.path_substring = ".tmp";
+        break;
+      default:
+        rule.path_substring = ".v";  // document version files
+        break;
+    }
+    rule.skip = static_cast<std::uint64_t>(rng.uniform(0, 10));
+    rule.count = static_cast<std::uint64_t>(rng.uniform(1, 6));
+    if (rng.bernoulli(0.3)) {
+      rule.probability = 0.3 + 0.4 * rng.uniform01();
+    }
+    if (rule.op == EnvOp::kWrite && rng.bernoulli(0.5)) {
+      rule.short_write_bytes = static_cast<std::size_t>(rng.uniform(1, 32));
+    }
+    rule.message = "useed" + std::to_string(seed) + "/r" + std::to_string(r);
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+struct UpsertScenarioResult {
+  std::string trace;
+  std::uint64_t faults = 0;
+  std::uint64_t committed = 0;  ///< upserts whose generation landed
+};
+
+/// One scenario: a manager absorbs a deterministic edit stream under faults,
+/// "crashes" (destruction), restarts over the surviving directory, and
+/// absorbs more edits. A shadow map tracks the last *committed* state; after
+/// every attempt and after the restart the corpus must match the shadow
+/// exactly, and the final pair answer must be oracle-exact.
+UpsertScenarioResult run_upsert_scenario(std::uint64_t seed, const std::string& dir) {
+  const FaultPlan plan = upsert_fault_plan(seed);
+  FaultyEnv env(plan);
+  UpsertScenarioResult result;
+
+  Rng rng(seed * 6364136223846793005ULL + 3);
+  std::map<std::string, Sequence> shadow;
+  std::uint64_t shadow_generation = 0;
+
+  const auto corpus_options = [&] {
+    CorpusManagerOptions options;
+    options.dir = dir + "/corpus";
+    options.chunk = 16;
+    options.drain_inline = true;
+    options.env = &env;
+    return options;
+  };
+
+  const auto check_matches_shadow = [&](CorpusManager& corpus) {
+    ASSERT_EQ(corpus.generation(), shadow_generation);
+    ASSERT_EQ(corpus.documents(), shadow.size());
+    for (const auto& [id, bytes] : shadow) {
+      const auto held = corpus.document(id);
+      ASSERT_TRUE(held.has_value()) << id;
+      // The all-or-nothing core: a torn upsert must never leave NEW bytes
+      // behind an OLD generation (or vice versa).
+      ASSERT_EQ(*held, bytes) << id;
+    }
+  };
+
+  const auto drive = [&](CorpusManager& corpus, int steps) {
+    for (int step = 0; step < steps; ++step) {
+      const std::string id = rng.uniform(0, 1) == 0 ? "a" : "b";
+      Sequence bytes = shadow.count(id) ? shadow.at(id) : Sequence{};
+      // Deterministic edit: mostly appends (the fast path), some rewrites.
+      if (bytes.empty() || rng.bernoulli(0.75)) {
+        const Index grow = rng.uniform(1, 40);
+        for (Index i = 0; i < grow; ++i) {
+          bytes.push_back(static_cast<Symbol>(rng.uniform(0, 3)));
+        }
+      } else {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(bytes.size()) - 1));
+        bytes[pos] = static_cast<Symbol>(rng.uniform(0, 3));
+      }
+      try {
+        const UpsertReport report = corpus.upsert_document(id, bytes);
+        shadow[id] = bytes;
+        shadow_generation = report.generation;
+        ++result.committed;
+      } catch (const CorpusPublishError&) {
+        // Commit failed: the manager must have rolled back to the shadow.
+      }
+      check_matches_shadow(corpus);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  };
+
+  {
+    ComparisonEngine engine(faulty_drain_engine(dir + "/store", &env));
+    CorpusManager corpus(engine, corpus_options());
+    drive(corpus, 6);
+    if (::testing::Test::HasFatalFailure()) return result;
+  }  // crash: whatever was mid-flight is gone; only commits survive
+
+  {
+    ComparisonEngine engine(faulty_drain_engine(dir + "/store", &env));
+    CorpusManager corpus(engine, corpus_options());
+    // The restart must load exactly the last committed generation.
+    check_matches_shadow(corpus);
+    if (::testing::Test::HasFatalFailure()) return result;
+    drive(corpus, 4);
+    if (::testing::Test::HasFatalFailure()) return result;
+
+    // Queries over the surviving corpus are oracle-exact (the kernel store
+    // may have degraded arbitrarily; answers may recompute, never lie).
+    if (shadow.count("a") && shadow.count("b")) {
+      EXPECT_EQ(engine_lcs(engine, shadow.at("a"), shadow.at("b")),
+                testing::lcs_oracle(shadow.at("a"), shadow.at("b")));
+    }
+  }
+
+  result.trace = env.trace_text();
+  result.faults = env.faults_injected();
+  return result;
+}
+
+/// Seeded upsert->crash->restart->query schedules with byte-identical trace
+/// replay, sharing the SEMILOCAL_FAULT_SEED_BASE/SEMILOCAL_FAULT_SEEDS
+/// replay contract with the main schedule sweep.
+TEST(FaultSchedules, UpsertCrashRestartCyclesNeverBlendGenerations) {
+  const std::uint64_t base = env_u64("SEMILOCAL_FAULT_SEED_BASE", 1);
+  const std::uint64_t seeds = env_u64("SEMILOCAL_FAULT_SEEDS", 60);
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_committed = 0;
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    SCOPED_TRACE("upsert fault seed " + std::to_string(seed) +
+                 " (replay: SEMILOCAL_FAULT_SEED_BASE=" + std::to_string(seed) +
+                 " SEMILOCAL_FAULT_SEEDS=1 ./test_faults"
+                 " --gtest_filter='FaultSchedules.Upsert*')");
+    ScratchDir first_dir("run1");
+    const UpsertScenarioResult first = run_upsert_scenario(seed, first_dir.str());
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    ScratchDir second_dir("run2");
+    const UpsertScenarioResult second = run_upsert_scenario(seed, second_dir.str());
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    ASSERT_EQ(first.trace, second.trace);
+    ASSERT_EQ(first.faults, second.faults);
+    ASSERT_EQ(first.committed, second.committed);
+    total_faults += first.faults;
+    total_committed += first.committed;
+  }
+  // The schedules must both bite (faults fired) and let progress through
+  // (some upserts committed) -- otherwise the invariant checks are vacuous.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(total_committed, seeds);
 }
 
 /// Corpus precompute under a hostile disk: never throws, reports exactly the

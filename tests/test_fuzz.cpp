@@ -489,6 +489,141 @@ TEST(Fuzz, PlotTileStreamsAreSplitInvariantAndReassemble) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Upsert wire fuzz: Op::kUpsert reuses the base request layout (`a` carries
+// raw document-id bytes, `b` the document body) with no extra payload block,
+// so the same corpus shapes apply -- truncation at every prefix, bit flips,
+// hostile spliced declared lengths, and split-invariant streaming decode.
+
+Request random_upsert_request(Rng& rng) {
+  Request request;
+  request.op = Op::kUpsert;
+  // Id-like bytes (what the CLI sends), though the wire layer must treat the
+  // field as opaque -- id validation is the corpus manager's job.
+  static constexpr char kIdChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.";
+  const Index id_len = rng.uniform(1, 32);
+  for (Index i = 0; i < id_len; ++i) {
+    request.a.push_back(static_cast<Symbol>(
+        kIdChars[static_cast<std::size_t>(rng.uniform(0, 65))]));
+  }
+  request.b = uniform_sequence(rng.uniform(0, 200), 4, rng.engine()());
+  return request;
+}
+
+TEST(Fuzz, UpsertRequestsRoundTripAndDieCleanlyUnderMutation) {
+  Rng rng(0x5e17);
+  for (int round = 0; round < 40; ++round) {
+    const Request request = random_upsert_request(rng);
+    const std::string payload = encode_request(request);
+    // Canonical round-trip: decode then re-encode is byte-identical, and the
+    // id bytes come back untouched (no packing, no normalisation).
+    const Request decoded = decode_request(payload);
+    ASSERT_EQ(encode_request(decoded), payload) << "round " << round;
+    EXPECT_EQ(decoded.op, Op::kUpsert);
+    EXPECT_EQ(decoded.a, request.a);
+    EXPECT_EQ(decoded.b, request.b);
+    EXPECT_TRUE(decoded.windows.empty());
+    EXPECT_FALSE(decoded.plot.has_value());
+
+    // Every truncation dies at decode or re-encodes to exactly itself; a
+    // short document body must never be silently padded or clipped.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      expect_rejected_or_canonical(payload.substr(0, len));
+    }
+    // Random bit flips: a flipped id or body byte still decodes (and then
+    // must re-encode canonically); a flipped structural byte must throw.
+    for (int flip = 0; flip < 32; ++flip) {
+      const auto bit = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(payload.size()) * 8 - 1));
+      std::string mutated = payload;
+      mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1 << (bit % 8)));
+      expect_rejected_or_canonical(mutated);
+    }
+  }
+}
+
+TEST(Fuzz, UpsertRequestsWithHostileSplicedLengthsAllDieAtDecode) {
+  Rng rng(0x5e27);
+  // The declared sequence lengths sit at fixed offsets: op(1) + x(8) + y(8),
+  // so la is bytes [17,21) and lb bytes [21,25).
+  const auto splice_u32 = [](std::string payload, std::size_t off, std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      payload[off + static_cast<std::size_t>(i)] =
+          static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    return payload;
+  };
+  for (int round = 0; round < 10; ++round) {
+    const Request request = random_upsert_request(rng);
+    const std::string payload = encode_request(request);
+    // Declared lengths far past the payload end must die at decode without
+    // any proportional allocation (the reader bounds-checks before copying).
+    for (const std::uint32_t hostile :
+         {std::uint32_t{0xffffffffu}, std::uint32_t{1} << 31,
+          static_cast<std::uint32_t>(kMaxFrameBytes),
+          static_cast<std::uint32_t>(payload.size())}) {
+      EXPECT_THROW((void)decode_request(splice_u32(payload, 17, hostile)),
+                   ProtocolError)
+          << "la=" << hostile;
+      EXPECT_THROW((void)decode_request(splice_u32(payload, 21, hostile)),
+                   ProtocolError)
+          << "lb=" << hostile;
+    }
+    // Off-by-one length lies shift every later field: the decoder must
+    // either reject or happen to parse something that re-encodes to exactly
+    // the mutated bytes -- never a half-shifted hybrid.
+    const auto la = static_cast<std::uint32_t>(request.a.size());
+    const auto lb = static_cast<std::uint32_t>(request.b.size());
+    expect_rejected_or_canonical(splice_u32(payload, 17, la + 1));
+    expect_rejected_or_canonical(splice_u32(payload, 21, lb + 1));
+    if (la > 0) expect_rejected_or_canonical(splice_u32(payload, 17, la - 1));
+    if (lb > 0) expect_rejected_or_canonical(splice_u32(payload, 21, lb - 1));
+  }
+}
+
+TEST(Fuzz, UpsertFrameStreamsAreSplitInvariantAtEveryByteBoundary) {
+  Rng rng(0x5e37);
+  for (int round = 0; round < 24; ++round) {
+    // A stream of framed upsert requests, optionally truncated or
+    // bit-flipped -- the shapes a reactor sees from a flaky ingest client.
+    std::string stream;
+    const Index frames = rng.uniform(1, 4);
+    for (Index f = 0; f < frames; ++f) {
+      stream += frame_payload(encode_request(random_upsert_request(rng)));
+    }
+    const bool clean = !rng.bernoulli(0.4);
+    if (!clean && rng.bernoulli(0.5)) {
+      stream.resize(static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(stream.size()) - 1)));
+    } else if (!clean && !stream.empty()) {
+      const auto bit = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Index>(stream.size()) * 8 - 1));
+      stream[bit / 8] = static_cast<char>(stream[bit / 8] ^ (1 << (bit % 8)));
+    }
+
+    const StreamOutcome whole = run_decoder(stream, {});
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+      const StreamOutcome split = run_decoder(stream, {cut});
+      ASSERT_EQ(split == whole, true)
+          << "round " << round << " cut " << cut << " of " << stream.size();
+    }
+    std::vector<std::size_t> every_byte(stream.size());
+    std::iota(every_byte.begin(), every_byte.end(), std::size_t{1});
+    ASSERT_EQ(run_decoder(stream, every_byte) == whole, true) << "round " << round;
+    // Clean streams must deliver every frame, each decoding canonically.
+    if (clean) {
+      ASSERT_FALSE(whole.error);
+      ASSERT_EQ(whole.payloads.size(), static_cast<std::size_t>(frames));
+      for (const std::string& payload : whole.payloads) {
+        const Request decoded = decode_request(payload);
+        EXPECT_EQ(decoded.op, Op::kUpsert);
+        EXPECT_EQ(encode_request(decoded), payload);
+      }
+    }
+  }
+}
+
 TEST(Fuzz, EditDistanceReductionOnRandomShapes) {
   Rng rng(808);
   for (int round = 0; round < 20; ++round) {

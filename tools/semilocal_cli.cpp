@@ -37,6 +37,12 @@
 //       maintenance (weight -> 0; in-flight exchanges finish), restore it,
 //       or rebalance by editing its ring weight. Every mutation bumps the
 //       ring generation and echoes the router's stats document.
+//   upsert <host:port|port> <doc.fasta> [--id ID]
+//       Versioned corpus upsert (Op::kUpsert) against a running
+//       semilocal_serve started with --corpus-dir (or a router in front of
+//       one). Sends raw residues; the server chunks the document, reuses
+//       every cached chunk braid, recomputes only what changed, and bumps
+//       the corpus generation. Prints the upsert report JSON.
 //   plot <a.fasta> <b.fasta> --port P [--host H] [--rows R] [--cols C]
 //        [--step S] [--window W] [--quant 8|16] [--format pgm|csv] [--out PATH]
 //       Alignment dot-plot over the wire: one Op::kAlignmentPlot request to a
@@ -65,6 +71,7 @@
 #include "core/kernel_codec.hpp"
 #include "core/serialize.hpp"
 #include "engine/corpus.hpp"
+#include "engine/corpus_version.hpp"
 #include "engine/protocol.hpp"
 #include "fd_stream.hpp"
 #include "util/cli.hpp"
@@ -93,6 +100,9 @@ int usage() {
       "  shardctl <host:port|port> status\n"
       "  shardctl <host:port|port> drain|undrain <shard>\n"
       "  shardctl <host:port|port> weight <shard> <w>\n"
+      "  upsert <host:port|port> <doc.fasta> [--id ID]\n"
+      "         (versioned corpus upsert against a server started with\n"
+      "          --corpus-dir; prints the upsert report JSON)\n"
       "  plot <a.fasta> <b.fasta> --port P [--host H] [--rows R] [--cols C]\n"
       "       [--step S] [--window W] [--quant 8|16] [--format pgm|csv]\n"
       "       [--out PATH]    (streamed dot-plot from a running server)\n";
@@ -455,6 +465,50 @@ int cmd_shardctl(const CliArgs& args) {
   return 0;
 }
 
+/// `upsert <host:port|port> <doc.fasta> [--id ID]`: one Op::kUpsert exchange
+/// against a running semilocal_serve (or via semilocal_router, which relays
+/// it to the document's home shard). The request carries the document id in
+/// the `a` slot and the *raw* residues in `b` -- the server packs them per
+/// its own --dna flag, exactly as it does for query payloads. The response
+/// value is the new document version; the text is the upsert report JSON
+/// (chunks computed vs reused, prefix reuse, generation).
+int cmd_upsert(const CliArgs& args) {
+  const auto& pos = args.positional();
+  if (pos.size() != 2) return usage();
+
+  std::string host = "127.0.0.1";
+  std::string port_text = pos[0];
+  if (const std::size_t colon = pos[0].rfind(':'); colon != std::string::npos) {
+    host = pos[0].substr(0, colon);
+    port_text = pos[0].substr(colon + 1);
+  }
+  const int port = std::stoi(port_text);
+
+  const auto records = read_fasta_file(pos[1]);
+  if (records.empty()) throw std::runtime_error(pos[1] + ": no FASTA records");
+  const std::string id = args.option_or("id", records.front().id);
+  if (!valid_document_id(id)) {
+    throw std::invalid_argument("upsert: invalid document id '" + id + "'");
+  }
+
+  Request request;
+  request.op = Op::kUpsert;
+  request.a = to_sequence(id);
+  request.b = records.front().residues;  // raw: the server applies its --dna
+
+  tools::FdStream stream(dial("upsert", host, port));
+  write_frame(stream.out, encode_request(request));
+  const auto payload = read_frame(stream.in);
+  if (!payload) throw std::runtime_error("upsert: server closed the connection");
+  const Response response = decode_response(*payload);
+  if (response.status != Status::kOk) {
+    std::cerr << "upsert: " << response.text << "\n";
+    return 1;
+  }
+  std::cout << response.text << "\n";
+  return 0;
+}
+
 /// `plot <a.fasta> <b.fasta> --port P`: one streamed Op::kAlignmentPlot
 /// exchange against a running semilocal_serve or semilocal_router. Tile
 /// frames are drained until the terminal frame and reassembled client-side;
@@ -595,6 +649,7 @@ int main(int argc, char** argv) {
     if (command == "braid") return cmd_braid(args);
     if (command == "store") return cmd_store(args);
     if (command == "shardctl") return cmd_shardctl(args);
+    if (command == "upsert") return cmd_upsert(args);
     if (command == "plot") return cmd_plot(args);
     return usage();
   } catch (const std::exception& e) {

@@ -22,6 +22,14 @@
 // "plot") and report per-class latency buckets in --json, so the plot tail
 // is visible separately from the point-query tail.
 //
+// --upsert-fraction F turns F of the requests into Op::kUpsert writes against
+// a small set of rotating document ids ("lg-doc-0".."lg-doc-3"): each upsert
+// re-sends a random-length prefix of the id's base document, so the server's
+// chunk-braid cache sees the full mix of appends, truncations and idempotent
+// re-sends under live query load. Requires the server to run with
+// --corpus-dir (upserts answer kError otherwise and count as client errors).
+// Open-loop runs tag these with op class "upsert".
+//
 // Open-loop mode (the overload-measurement regime; see engine/open_loop.hpp):
 //
 //   semilocal_loadgen --port P --arrival-rate R --connections C
@@ -70,6 +78,7 @@ int usage() {
   std::cerr << "usage: semilocal_loadgen --port P [--requests N] [--pairs K] [--length L]\n"
                "                         [--threads T] [--substring-frac F] [--zipf] [--seed S]\n"
                "                         [--queries-per-pair Q] [--plot-fraction F]\n"
+               "                         [--upsert-fraction F]\n"
                "       semilocal_loadgen --port P --arrival-rate R --connections C\n"
                "                         [--duration-ms D] [--drain-ms D] [--json]\n"
                "       either mode also accepts --verify (client-side answer oracle)\n";
@@ -110,6 +119,12 @@ struct Workload {
   /// Fraction of requests that become streamed kAlignmentPlot ops (an 8x8
   /// grid over the sampled pair) -- the mixed plot/query serving regime.
   double plot_frac = 0.0;
+  /// Fraction of requests that become Op::kUpsert writes over the rotating
+  /// upsert_docs ids -- the live-edit serving regime.
+  double upsert_frac = 0.0;
+  /// Base documents behind ids "lg-doc-<i>"; each upsert sends a random
+  /// prefix of one, mixing appends, truncations and idempotent re-sends.
+  std::vector<Sequence> upsert_docs;
   bool zipf = false;
   Index queries_per_pair = 1;  // > 1 => batched kBatchQuery frames
 };
@@ -151,6 +166,21 @@ WindowQuery pick_window(const Workload& workload, Index m, Index n, Rng& rng) {
 
 Request pick_request(const Workload& workload, Rng& rng,
                      std::size_t* pool_index = nullptr) {
+  if (pool_index != nullptr) *pool_index = 0;
+  if (workload.upsert_frac > 0 && !workload.upsert_docs.empty() &&
+      rng.uniform01() < workload.upsert_frac) {
+    const auto doc = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(workload.upsert_docs.size()) - 1));
+    const Sequence& base = workload.upsert_docs[doc];
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(base.size())));
+    Request request;
+    request.op = Op::kUpsert;
+    request.a = to_sequence("lg-doc-" + std::to_string(doc));
+    request.b.assign(base.begin(),
+                     base.begin() + static_cast<std::ptrdiff_t>(keep));
+    return request;  // expected_value: -1 (writes are not oracle-checkable)
+  }
   const auto pool_size = static_cast<std::int64_t>(workload.pool.size());
   std::int64_t idx = rng.uniform(0, pool_size - 1);
   if (workload.zipf) {
@@ -285,6 +315,10 @@ int main(int argc, char** argv) {
     if (workload.plot_frac < 0.0 || workload.plot_frac > 1.0) {
       throw std::invalid_argument("--plot-fraction out of range [0, 1]");
     }
+    workload.upsert_frac = args.double_option_or("upsert-fraction", 0.0);
+    if (workload.upsert_frac < 0.0 || workload.upsert_frac > 1.0) {
+      throw std::invalid_argument("--upsert-fraction out of range [0, 1]");
+    }
     workload.zipf = args.has_flag("zipf");
     workload.queries_per_pair = args.int_option_or("queries-per-pair", 1);
     if (workload.queries_per_pair < 1 ||
@@ -294,6 +328,11 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     for (Index p = 0; p < pairs; ++p) {
       workload.pool.emplace_back(random_dna(length, rng), random_dna(length, rng));
+    }
+    if (workload.upsert_frac > 0) {
+      for (int doc = 0; doc < 4; ++doc) {
+        workload.upsert_docs.push_back(random_dna(length, rng));
+      }
     }
     if (args.has_flag("verify")) {
       workload.kernels.reserve(workload.pool.size());
@@ -319,8 +358,9 @@ int main(int argc, char** argv) {
         const Request request = pick_request(workload, payload_rng, &pool_index);
         pending_expected = expected_value(workload, pool_index, request);
         pending_op = request.op == Op::kAlignmentPlot ? "plot"
-                     : request.op == Op::kBatchQuery ? "batch"
-                                                     : "query";
+                     : request.op == Op::kBatchQuery  ? "batch"
+                     : request.op == Op::kUpsert      ? "upsert"
+                                                      : "query";
         return encode_request(request);
       };
       if (!workload.kernels.empty()) {

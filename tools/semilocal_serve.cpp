@@ -31,6 +31,11 @@
 //   --no-index      answer queries via the O(m+n) scan instead of the
 //                    shared QueryIndex (ablation / debugging)
 //   --dna            pack request bytes as DNA (match CLI precompute keys)
+//   --corpus-dir DIR versioned incremental corpus root; enables Op::kUpsert
+//                    (without it upserts answer kError). Chunked braids are
+//                    cached in the kernel store, so --store persistence makes
+//                    re-upserts of mostly-unchanged documents cheap.
+//   --chunk N        corpus chunk size in symbols (default 1024)
 //
 // Frontend options (TCP modes):
 //   --threaded           thread-per-connection instead of the reactor
@@ -48,7 +53,10 @@
 #include <cstring>
 #include <iostream>
 
+#include <optional>
+
 #include "core/api.hpp"
+#include "engine/corpus_version.hpp"
 #include "engine/engine.hpp"
 #include "engine/frontend.hpp"
 #include "engine/protocol.hpp"
@@ -68,7 +76,8 @@ int usage() {
                "                       [--dna] [--threaded] [--backlog N] [--max-conns N]\n"
                "                       [--max-inflight N] [--write-cap-kb N]\n"
                "                       [--idle-timeout-ms N] [--read-timeout-ms N]\n"
-               "                       [--drain-timeout-ms N] [--pumps N]\n";
+               "                       [--drain-timeout-ms N] [--pumps N]\n"
+               "                       [--corpus-dir DIR] [--chunk N]\n";
   return 2;
 }
 
@@ -85,6 +94,7 @@ Strategy parse_strategy(const std::string& name) {
 struct ServeConfig {
   bool dna = false;
   bool inline_compute = false;  // stdio mode: drain on the session thread
+  CorpusManager* corpus = nullptr;  // nullptr: upserts answer kError
 };
 
 Sequence ingest(const ServeConfig& config, Sequence raw) {
@@ -145,6 +155,20 @@ Response handle(ComparisonEngine& engine, const ServeConfig& config,
         response.status = Status::kError;
         response.text = "plot: not answerable as a single frame";
         break;
+      case Op::kUpsert: {
+        // `a` is the document id (raw bytes, never DNA-packed); `b` is the
+        // document body, packed like every other sequence payload.
+        if (config.corpus == nullptr) {
+          response.status = Status::kError;
+          response.text = "upsert: no corpus attached";
+          break;
+        }
+        const UpsertReport report = config.corpus->upsert_document(
+            to_string(request.a), ingest(config, request.b));
+        response.value = report.version;
+        response.text = report.json();
+        break;
+      }
     }
   } catch (const EngineOverloaded& e) {
     response.status = Status::kOverloaded;
@@ -263,6 +287,17 @@ int main(int argc, char** argv) {
     config.inline_compute = options.scheduler.workers == 0;
 
     ComparisonEngine engine(options);
+
+    std::optional<CorpusManager> corpus;
+    if (const auto corpus_dir = args.option("corpus-dir")) {
+      CorpusManagerOptions corpus_options;
+      corpus_options.dir = *corpus_dir;
+      corpus_options.chunk = static_cast<Index>(args.int_option_or("chunk", 1024));
+      corpus_options.drain_inline = config.inline_compute;
+      corpus.emplace(engine, std::move(corpus_options));
+      config.corpus = &*corpus;
+    }
+
     if (stdio) {
       serve_session(engine, config, std::cin, std::cout);
       return 0;
@@ -286,6 +321,7 @@ int main(int argc, char** argv) {
     frontend.pump_threads = static_cast<int>(args.int_option_or("pumps", 2));
     frontend.dna = config.dna;
     frontend.drain_inline = config.inline_compute;
+    frontend.corpus = config.corpus;
 
     // The bound port goes to *stdout* (one bare number, flushed before the
     // loop starts): with --port 0 a supervisor or test harness spawning real
